@@ -1,0 +1,187 @@
+//! Aggregatable block analyses `f : U* → R^d`.
+//!
+//! These are the non-private functions the sample-and-aggregate framework
+//! wraps. Any implementor of [`BlockAnalysis`] works; the ones here cover the
+//! paper's motivating examples (statistical estimators whose sub-sample
+//! evaluations concentrate).
+
+use privcluster_geometry::{Dataset, Point};
+
+/// A (non-private) analysis evaluated on a block of samples.
+pub trait BlockAnalysis {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Dimension of the output given the input dimension.
+    fn output_dim(&self, input_dim: usize) -> usize;
+
+    /// Evaluates the analysis on one block.
+    fn evaluate(&self, block: &Dataset) -> Point;
+}
+
+/// The coordinate-wise mean.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanAnalysis;
+
+impl BlockAnalysis for MeanAnalysis {
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+    fn evaluate(&self, block: &Dataset) -> Point {
+        block.mean().expect("blocks are non-empty")
+    }
+}
+
+/// The coordinate-wise median.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MedianAnalysis;
+
+fn median_of(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+impl BlockAnalysis for MedianAnalysis {
+    fn name(&self) -> &'static str {
+        "median"
+    }
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+    fn evaluate(&self, block: &Dataset) -> Point {
+        let d = block.dim();
+        Point::new(
+            (0..d)
+                .map(|j| median_of(block.iter().map(|p| p[j]).collect()))
+                .collect(),
+        )
+    }
+}
+
+/// The coordinate-wise trimmed mean (drops a fraction of the smallest and
+/// largest values per coordinate before averaging).
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMeanAnalysis {
+    /// Fraction trimmed from *each* tail (0 ≤ fraction < 0.5).
+    pub trim_fraction: f64,
+}
+
+impl Default for TrimmedMeanAnalysis {
+    fn default() -> Self {
+        TrimmedMeanAnalysis { trim_fraction: 0.1 }
+    }
+}
+
+impl BlockAnalysis for TrimmedMeanAnalysis {
+    fn name(&self) -> &'static str {
+        "trimmed-mean"
+    }
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+    fn evaluate(&self, block: &Dataset) -> Point {
+        let d = block.dim();
+        let n = block.len();
+        let cut = ((n as f64) * self.trim_fraction).floor() as usize;
+        Point::new(
+            (0..d)
+                .map(|j| {
+                    let mut vals: Vec<f64> = block.iter().map(|p| p[j]).collect();
+                    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    let kept = &vals[cut..n - cut.min(n.saturating_sub(cut + 1))];
+                    kept.iter().sum::<f64>() / kept.len().max(1) as f64
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Ordinary-least-squares slope and intercept of 2-D points `(x, y)`; the
+/// output lives in `R²` as `(slope, intercept)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OlsSlopeAnalysis;
+
+impl BlockAnalysis for OlsSlopeAnalysis {
+    fn name(&self) -> &'static str {
+        "ols-slope"
+    }
+    fn output_dim(&self, _input_dim: usize) -> usize {
+        2
+    }
+    fn evaluate(&self, block: &Dataset) -> Point {
+        assert_eq!(block.dim(), 2, "OLS analysis expects 2-D (x, y) points");
+        let n = block.len() as f64;
+        let mean_x = block.iter().map(|p| p[0]).sum::<f64>() / n;
+        let mean_y = block.iter().map(|p| p[1]).sum::<f64>() / n;
+        let cov: f64 = block
+            .iter()
+            .map(|p| (p[0] - mean_x) * (p[1] - mean_y))
+            .sum();
+        let var: f64 = block.iter().map(|p| (p[0] - mean_x).powi(2)).sum();
+        let slope = if var > 1e-12 { cov / var } else { 0.0 };
+        Point::new(vec![slope, mean_y - slope * mean_x])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![100.0, 8.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mean_and_median() {
+        let b = block();
+        let mean = MeanAnalysis.evaluate(&b);
+        assert!((mean[0] - 21.2).abs() < 1e-9);
+        assert!((mean[1] - 4.0).abs() < 1e-9);
+        assert_eq!(MeanAnalysis.output_dim(2), 2);
+        assert_eq!(MeanAnalysis.name(), "mean");
+
+        let median = MedianAnalysis.evaluate(&b);
+        assert_eq!(median[0], 2.0);
+        assert_eq!(median[1], 4.0);
+        // Even-length median averages the middle two.
+        let even = Dataset::from_rows(vec![vec![1.0], vec![3.0], vec![5.0], vec![7.0]]).unwrap();
+        assert_eq!(MedianAnalysis.evaluate(&even)[0], 4.0);
+    }
+
+    #[test]
+    fn trimmed_mean_resists_the_outlier() {
+        let b = block();
+        let trimmed = TrimmedMeanAnalysis { trim_fraction: 0.2 }.evaluate(&b);
+        // Trimming one value from each tail removes the 100.0 outlier.
+        assert!(trimmed[0] < 3.1, "trimmed mean {} still polluted", trimmed[0]);
+        assert_eq!(TrimmedMeanAnalysis::default().output_dim(3), 3);
+    }
+
+    #[test]
+    fn ols_recovers_a_perfect_line() {
+        let line = Dataset::from_rows((0..10).map(|i| vec![i as f64, 3.0 * i as f64 + 1.0]).collect())
+            .unwrap();
+        let fit = OlsSlopeAnalysis.evaluate(&line);
+        assert!((fit[0] - 3.0).abs() < 1e-9);
+        assert!((fit[1] - 1.0).abs() < 1e-9);
+        assert_eq!(OlsSlopeAnalysis.output_dim(2), 2);
+        // Degenerate block (no x variance) falls back to slope 0.
+        let flat = Dataset::from_rows(vec![vec![1.0, 5.0], vec![1.0, 7.0]]).unwrap();
+        assert_eq!(OlsSlopeAnalysis.evaluate(&flat)[0], 0.0);
+    }
+}

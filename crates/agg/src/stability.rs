@@ -1,0 +1,90 @@
+//! Stable points (Definition 6.1) and their empirical estimation.
+
+use crate::analyses::BlockAnalysis;
+use privcluster_geometry::{Dataset, Point};
+use rand::Rng;
+
+/// An empirical estimate of how stable an analysis is under sub-sampling.
+#[derive(Debug, Clone)]
+pub struct StablePointEstimate {
+    /// The reference point `c` (the analysis evaluated on the full data).
+    pub point: Point,
+    /// The radius `r` the estimate refers to.
+    pub radius: f64,
+    /// Estimated probability that `f(S')` for an i.i.d. sub-sample `S'` of
+    /// size `m` lands within `radius` of `point` — the `α` of
+    /// Definition 6.1.
+    pub alpha: f64,
+    /// Block size `m` used.
+    pub block_size: usize,
+}
+
+/// Estimates `(m, radius, α)`-stability of `analysis` on `data` by Monte
+/// Carlo: draw `trials` sub-samples of size `m` (with replacement), evaluate
+/// the analysis, and report the fraction landing within `radius` of the
+/// full-data value.
+pub fn empirical_stability<A: BlockAnalysis, R: Rng + ?Sized>(
+    data: &Dataset,
+    analysis: &A,
+    block_size: usize,
+    radius: f64,
+    trials: usize,
+    rng: &mut R,
+) -> StablePointEstimate {
+    assert!(block_size >= 1, "block size must be positive");
+    assert!(trials >= 1, "need at least one trial");
+    let reference = analysis.evaluate(data);
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        let indices: Vec<usize> = (0..block_size).map(|_| rng.gen_range(0..data.len())).collect();
+        let block = data.select(&indices);
+        if analysis.evaluate(&block).distance(&reference) <= radius {
+            hits += 1;
+        }
+    }
+    StablePointEstimate {
+        point: reference,
+        radius,
+        alpha: hits as f64 / trials as f64,
+        block_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyses::MeanAnalysis;
+    use privcluster_geometry::linalg::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_of_a_tight_gaussian_is_highly_stable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Dataset::from_rows(
+            (0..5_000)
+                .map(|_| vec![0.5 + 0.01 * standard_normal(&mut rng), 0.5])
+                .collect(),
+        )
+        .unwrap();
+        // Sub-sample means of size 400 have σ ≈ 0.0005, so radius 0.005 is
+        // hit essentially always.
+        let est = empirical_stability(&data, &MeanAnalysis, 400, 0.005, 200, &mut rng);
+        assert!(est.alpha > 0.95, "alpha = {}", est.alpha);
+        assert_eq!(est.block_size, 400);
+        assert!((est.point[0] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn tiny_radii_give_low_stability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Dataset::from_rows(
+            (0..2_000)
+                .map(|_| vec![0.5 + 0.2 * standard_normal(&mut rng)])
+                .collect(),
+        )
+        .unwrap();
+        let est = empirical_stability(&data, &MeanAnalysis, 10, 1e-5, 200, &mut rng);
+        assert!(est.alpha < 0.2, "alpha = {}", est.alpha);
+    }
+}

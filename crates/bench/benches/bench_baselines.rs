@@ -1,0 +1,74 @@
+//! Running-time comparison of the Table-1 methods, including the
+//! poly(|X|^d) blow-up of the exponential-mechanism baseline as the grid is
+//! refined.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_baselines::{
+    ExponentialGridSolver, NonPrivateTwoApprox, OneClusterSolver, PrivClusterSolver,
+    PrivateAggregationSolver,
+};
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::GridDomain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_all_methods(c: &mut Criterion) {
+    let domain = GridDomain::unit_cube(2, 33).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let inst = planted_ball_cluster(&domain, 1_000, 500, 0.04, &mut rng);
+    let privacy = PrivacyParams::new(2.0, 1e-5).unwrap();
+    let solvers: Vec<Box<dyn OneClusterSolver>> = vec![
+        Box::new(PrivClusterSolver::default()),
+        Box::new(PrivateAggregationSolver),
+        Box::new(ExponentialGridSolver::default()),
+        Box::new(NonPrivateTwoApprox),
+    ];
+    let mut group = c.benchmark_group("table1_methods");
+    for solver in &solvers {
+        group.bench_function(solver.name(), |b| {
+            b.iter(|| {
+                solver
+                    .solve(&inst.data, &domain, 500, privacy, 0.1, 7)
+                    .map(|o| o.ball.radius())
+                    .unwrap_or(f64::NAN)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exp_mech_grid_blowup(c: &mut Criterion) {
+    let privacy = PrivacyParams::new(2.0, 1e-5).unwrap();
+    let mut group = c.benchmark_group("exp_mech_grid_blowup");
+    for size in [17u64, 33, 65] {
+        let domain = GridDomain::unit_cube(2, size).unwrap();
+        let mut rng = StdRng::seed_from_u64(size);
+        let inst = planted_ball_cluster(&domain, 400, 200, 0.05, &mut rng);
+        let solver = ExponentialGridSolver::default();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
+            b.iter(|| {
+                solver
+                    .solve(&inst.data, &domain, 200, privacy, 0.1, 3)
+                    .map(|o| o.ball.radius())
+                    .unwrap_or(f64::NAN)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_all_methods, bench_exp_mech_grid_blowup
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Geometric substrate microbenchmarks: the JL transform, the L-profile
+//! sweep (the heart of GoodRadius's efficiency), and the reference
+//! minimum-enclosing-ball solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_geometry::{smallest_ball_two_approx, welzl_meb, BallCounter, GridDomain, JlTransform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_jl_projection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let domain = GridDomain::unit_cube(128, 1 << 10).unwrap();
+    let inst = planted_ball_cluster(&domain, 1_000, 500, 0.1, &mut rng);
+    let jl = JlTransform::sample(128, 32, &mut rng).unwrap();
+    c.bench_function("jl_project_1000x128_to_32", |b| {
+        b.iter(|| jl.project_dataset(&inst.data).unwrap())
+    });
+}
+
+fn bench_l_profile(c: &mut Criterion) {
+    let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
+    let mut group = c.benchmark_group("l_profile");
+    for n in [250usize, 500, 1_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = planted_ball_cluster(&domain, n, n / 2, 0.02, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| BallCounter::new(&inst.data, n / 2).l_profile())
+        });
+    }
+    group.finish();
+}
+
+fn bench_meb_references(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let domain = GridDomain::unit_cube(3, 1 << 10).unwrap();
+    let inst = planted_ball_cluster(&domain, 500, 250, 0.05, &mut rng);
+    c.bench_function("two_approx_500pts", |b| {
+        b.iter(|| smallest_ball_two_approx(&inst.data, 250).unwrap())
+    });
+    c.bench_function("welzl_500pts", |b| {
+        b.iter(|| welzl_meb(&inst.data, &mut rng).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_jl_projection, bench_l_profile, bench_meb_references
+}
+criterion_main!(benches);

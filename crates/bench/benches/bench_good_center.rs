@@ -1,0 +1,43 @@
+//! GoodCenter running time as a function of the dimension `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_core::{good_center, GoodCenterConfig};
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::GridDomain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_good_center_vs_dim(c: &mut Criterion) {
+    let privacy = PrivacyParams::new(4.0, 1e-4).unwrap();
+    let mut group = c.benchmark_group("good_center_vs_dim");
+    for d in [2usize, 8, 32] {
+        let domain = GridDomain::unit_cube(d, 1 << 12).unwrap();
+        let mut rng = StdRng::seed_from_u64(d as u64);
+        let inst = planted_ball_cluster(&domain, 2_000, 1_200, 0.05, &mut rng);
+        let cfg = GoodCenterConfig::practical();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &inst, |b, inst| {
+            b.iter(|| {
+                good_center(&inst.data, 0.2, 1_200, privacy, 0.1, &cfg, &mut rng)
+                    .map(|o| o.ball.radius())
+                    .unwrap_or(f64::NAN)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_good_center_vs_dim
+}
+criterion_main!(benches);

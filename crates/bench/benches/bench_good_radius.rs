@@ -1,0 +1,71 @@
+//! GoodRadius running time as a function of `n` (the poly(n, d, log|X|)
+//! claim of Theorem 3.2, radius stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_core::{good_radius, GoodRadiusConfig, RadiusSearchStrategy};
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::GridDomain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_good_radius_vs_n(c: &mut Criterion) {
+    let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+    let privacy = PrivacyParams::new(2.0, 1e-5).unwrap();
+    let mut group = c.benchmark_group("good_radius_vs_n");
+    for n in [250usize, 500, 1_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = planted_ball_cluster(&domain, n, n / 2, 0.02, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                good_radius(
+                    &inst.data,
+                    &domain,
+                    n / 2,
+                    privacy,
+                    0.1,
+                    &GoodRadiusConfig::default(),
+                    &mut rng,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+    let privacy = PrivacyParams::new(2.0, 1e-5).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let inst = planted_ball_cluster(&domain, 600, 300, 0.02, &mut rng);
+    let mut group = c.benchmark_group("good_radius_strategy");
+    for (label, strategy) in [
+        ("piecewise_exp_mech", RadiusSearchStrategy::PiecewiseExpMech),
+        ("noisy_binary_search", RadiusSearchStrategy::NoisyBinarySearch),
+    ] {
+        let cfg = GoodRadiusConfig {
+            strategy,
+            alpha: 0.5,
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| good_radius(&inst.data, &domain, 300, privacy, 0.1, &cfg, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_good_radius_vs_n, bench_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the DP mechanism substrate (running-time column of
+//! Table 1 depends on these primitives being cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_dp::exponential::{piecewise_exponential_mechanism, PiecewiseQuality, Segment};
+use privcluster_dp::noisy_avg::{noisy_average, NoisyAvgConfig};
+use privcluster_dp::sampling::{gaussian, laplace};
+use privcluster_dp::stability_histogram::{choose_heavy_bin, StabilityHistogramConfig};
+use privcluster_geometry::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("laplace_sample", |b| b.iter(|| laplace(&mut rng, 1.0)));
+    c.bench_function("gaussian_sample", |b| b.iter(|| gaussian(&mut rng, 1.0)));
+}
+
+fn bench_piecewise_exp_mech(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("piecewise_exp_mech");
+    for segments in [100u64, 10_000] {
+        let seg: Vec<Segment> = (0..segments)
+            .map(|i| Segment {
+                start: i * 1000,
+                len: 1000,
+                quality: (i % 37) as f64,
+            })
+            .collect();
+        let pw = PiecewiseQuality::new(seg).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &pw, |b, pw| {
+            b.iter(|| piecewise_exponential_mechanism(pw, 1.0, 1.0, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_stability_histogram(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = StabilityHistogramConfig::new(1.0, 1e-6).unwrap();
+    let counts: HashMap<u64, usize> = (0..5_000u64).map(|i| (i, (i % 97) as usize + 1)).collect();
+    c.bench_function("stability_histogram_5000_bins", |b| {
+        b.iter(|| {
+            let _ = choose_heavy_bin(&counts, &cfg, &mut rng);
+        })
+    });
+}
+
+fn bench_noisy_avg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let cfg = NoisyAvgConfig::new(1.0, 1e-6, 1.0).unwrap();
+    let points: Vec<Point> = (0..2_000)
+        .map(|i| Point::new(vec![(i % 10) as f64 * 0.01, (i % 7) as f64 * 0.01]))
+        .collect();
+    c.bench_function("noisy_avg_2000x2", |b| {
+        b.iter(|| noisy_average(&points, 2, &Point::origin(2), &cfg, &mut rng).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_samplers, bench_piecewise_exp_mech, bench_stability_histogram, bench_noisy_avg
+}
+criterion_main!(benches);

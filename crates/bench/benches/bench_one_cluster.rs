@@ -1,0 +1,49 @@
+//! End-to-end pipeline running time (GoodRadius + GoodCenter) vs `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_core::{one_cluster, OneClusterParams};
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::GridDomain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn bench_one_cluster_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_cluster_vs_n");
+    for n in [500usize, 1_000, 2_000] {
+        let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let t = n / 2;
+        let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
+        let params = OneClusterParams::new(
+            domain,
+            t,
+            PrivacyParams::new(2.0, 1e-5).unwrap(),
+            0.1,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                one_cluster(&inst.data, &params, &mut rng)
+                    .map(|o| o.ball.radius())
+                    .unwrap_or(f64::NAN)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_one_cluster_vs_n
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Sample-and-aggregate throughput (Section 6) for the private mean.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_agg::{sample_and_aggregate, MeanAnalysis, SaConfig};
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::{linalg::standard_normal, Dataset, GridDomain};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn gaussian_data(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_rows(
+        (0..n)
+            .map(|_| {
+                vec![
+                    (0.4 + 0.02 * standard_normal(&mut rng)).clamp(0.0, 1.0),
+                    (0.6 + 0.02 * standard_normal(&mut rng)).clamp(0.0, 1.0),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_sa_mean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_aggregate_mean");
+    for n in [20_000usize, 60_000] {
+        let data = gaussian_data(n, n as u64);
+        let cfg = SaConfig {
+            block_size: 12,
+            alpha: 0.8,
+            output_domain: GridDomain::unit_cube(2, 1 << 14).unwrap(),
+            privacy: PrivacyParams::new(2.0, 1e-5).unwrap(),
+            beta: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| sample_and_aggregate(data, &MeanAnalysis, &cfg, &mut rng).unwrap().point)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sa_mean
+}
+criterion_main!(benches);

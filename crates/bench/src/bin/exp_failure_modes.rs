@@ -1,0 +1,122 @@
+//! Experiments F1 and F2 — the two illustrations inside the construction.
+//!
+//! * Figure 1: the "first attempt" (choose a heavy interval per axis and
+//!   intersect) fails because the intersection can be empty. We measure the
+//!   empirical probability that the per-axis-heaviest intervals intersect in
+//!   an empty box, as the dimension grows.
+//! * Figure 2: extending a heavy interval of length |I| by |I| on each side
+//!   captures the whole diameter-|I| cluster. We measure the capture
+//!   probability with and without the extension.
+//!
+//! `cargo run -p privcluster-bench --release --bin exp_failure_modes`
+
+use privcluster_bench::experiments_dir;
+use privcluster_datagen::no_majority_pair;
+use privcluster_geometry::{Dataset, ShiftedIntervalPartition};
+use privcluster_report::{line_plot, ExperimentRecord, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-axis heaviest interval of width `w`, then count points in the
+/// intersected box.
+fn first_attempt_box_count(data: &Dataset, width: f64, rng: &mut StdRng) -> usize {
+    let d = data.dim();
+    let mut chosen = Vec::with_capacity(d);
+    for axis in 0..d {
+        let part = ShiftedIntervalPartition::random(width, rng).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for p in data.iter() {
+            *counts.entry(part.cell_index(p[axis])).or_insert(0usize) += 1;
+        }
+        let best = counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0;
+        chosen.push((part, best));
+    }
+    data.iter()
+        .filter(|p| {
+            chosen
+                .iter()
+                .enumerate()
+                .all(|(axis, (part, cell))| part.cell_index(p[axis]) == *cell)
+        })
+        .count()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let trials = 200;
+    let mut record = ExperimentRecord::new("F1_F2", "Figures 1 and 2: failure-mode illustrations");
+    record.parameter("trials", trials);
+
+    // ---- Figure 1: empty-intersection probability vs dimension.
+    let mut f1_table = Table::new(
+        "Figure 1: per-axis heavy intervals, empty-intersection probability",
+        &["d", "P[intersection empty]", "mean points in intersection"],
+    );
+    let mut f1_series = Vec::new();
+    for d in [2usize, 4, 8, 16] {
+        let data = no_majority_pair(100, d, 0.1, 0.9);
+        let mut empty = 0usize;
+        let mut total_points = 0usize;
+        for _ in 0..trials {
+            let c = first_attempt_box_count(&data, 0.3, &mut rng);
+            if c == 0 {
+                empty += 1;
+            }
+            total_points += c;
+        }
+        let p_empty = empty as f64 / trials as f64;
+        f1_table.push_row(vec![
+            d.to_string(),
+            format!("{p_empty:.2}"),
+            format!("{:.1}", total_points as f64 / trials as f64),
+        ]);
+        f1_series.push((d as f64, p_empty));
+        record.measure("empty_intersection_prob", format!("d={d}"), &[p_empty]);
+    }
+    println!("{}", f1_table.to_markdown());
+    println!(
+        "{}",
+        line_plot("Figure 1: P[empty intersection] vs d", &[("first attempt", f1_series)])
+    );
+
+    // ---- Figure 2: capture probability of Î (extended) vs I (not extended).
+    let mut f2_table = Table::new(
+        "Figure 2: capturing a diameter-|I| cluster with a heavy interval",
+        &["interval", "P[all cluster points captured]"],
+    );
+    let cluster_radius = 0.05; // cluster spans one interval length
+    let mut captured_plain = 0usize;
+    let mut captured_extended = 0usize;
+    for _ in 0..trials {
+        let center: f64 = rng.gen_range(0.2..0.8);
+        let points: Vec<f64> = (0..200)
+            .map(|_| center + rng.gen_range(-cluster_radius..cluster_radius))
+            .collect();
+        let part = ShiftedIntervalPartition::random(2.0 * cluster_radius, &mut rng).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for &x in &points {
+            *counts.entry(part.cell_index(x)).or_insert(0usize) += 1;
+        }
+        let heavy = *counts.iter().max_by_key(|(_, c)| **c).unwrap().0;
+        let (lo, hi) = part.cell_bounds(heavy);
+        let len = hi - lo;
+        if points.iter().all(|&x| x >= lo && x < hi) {
+            captured_plain += 1;
+        }
+        if points.iter().all(|&x| x >= lo - len && x < hi + len) {
+            captured_extended += 1;
+        }
+    }
+    let p_plain = captured_plain as f64 / trials as f64;
+    let p_ext = captured_extended as f64 / trials as f64;
+    f2_table.push_row(vec!["I (heavy interval)".into(), format!("{p_plain:.2}")]);
+    f2_table.push_row(vec!["Î (extended by |I| per side)".into(), format!("{p_ext:.2}")]);
+    record.measure("capture_prob_plain", "figure2", &[p_plain]);
+    record.measure("capture_prob_extended", "figure2", &[p_ext]);
+    println!("{}", f2_table.to_markdown());
+
+    match record.write_to(&experiments_dir()) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

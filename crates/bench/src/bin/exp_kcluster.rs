@@ -1,0 +1,52 @@
+//! Experiment E6 — Observation 3.5's k-clustering heuristic: coverage of a
+//! k-component mixture as k grows, under a fixed total privacy budget.
+//!
+//! `cargo run -p privcluster-bench --release --bin exp_kcluster`
+
+use privcluster_bench::experiments_dir;
+use privcluster_core::{k_cluster, OneClusterParams};
+use privcluster_datagen::gaussian_mixture;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::GridDomain;
+use privcluster_report::{ExperimentRecord, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut record = ExperimentRecord::new("E6", "k-clustering heuristic coverage vs k");
+    let privacy = PrivacyParams::new(6.0, 1e-4).unwrap();
+    record.parameter("total_epsilon", privacy.epsilon());
+
+    let mut table = Table::new(
+        "Coverage of a k-component mixture by k iterated 1-cluster calls",
+        &["k", "per-component size", "balls found", "coverage"],
+    );
+    for k in [2usize, 3, 4, 6] {
+        let per_cluster = 1_200;
+        let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let mixture = gaussian_mixture(&domain, k, per_cluster, 0.004, 0, &mut rng);
+        let params = OneClusterParams::new(domain, 900, privacy, 0.1).unwrap();
+        match k_cluster(&mixture.data, k, &params, &mut rng) {
+            Ok(out) => {
+                let coverage = out.coverage(&mixture.data);
+                table.push_row(vec![
+                    k.to_string(),
+                    per_cluster.to_string(),
+                    out.balls.len().to_string(),
+                    format!("{:.1}%", 100.0 * coverage),
+                ]);
+                record.measure("coverage", format!("k={k}"), &[coverage]);
+                record.measure("balls", format!("k={k}"), &[out.balls.len() as f64]);
+            }
+            Err(e) => {
+                table.push_row(vec![k.to_string(), per_cluster.to_string(), "0".into(), format!("failed: {e}")]);
+            }
+        }
+    }
+    println!("{}", table.to_markdown());
+    match record.write_to(&experiments_dir()) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment E8 — Section 5: the IntPoint reduction in action, plus the
+//! Corollary 5.4 arithmetic (how the required sample size grows with |X| and
+//! how absurdly large `w` must get before the bound stops applying).
+//!
+//! `cargo run -p privcluster-bench --release --bin exp_lowerbound`
+
+use privcluster_bench::experiments_dir;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::{Dataset, GridDomain};
+use privcluster_lowerbound::{corollary_5_4_sample_bound, int_point, max_tolerable_w, InteriorPointInstance};
+use privcluster_report::{ExperimentRecord, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut record = ExperimentRecord::new("E8", "IntPoint reduction and Corollary 5.4 arithmetic");
+    let privacy = PrivacyParams::new(4.0, 1e-4).unwrap();
+    record.parameter("epsilon", privacy.epsilon());
+
+    // ---- The reduction in action: success rate on random instances.
+    let mut rng = StdRng::seed_from_u64(55);
+    let trials = 8;
+    let mut table = Table::new(
+        "IntPoint (Algorithm 3) success rate via the 1-cluster solver",
+        &["instance", "m", "success rate"],
+    );
+    for (label, spread) in [("concentrated", 0.05_f64), ("spread", 0.25_f64)] {
+        let mut successes = 0;
+        for trial in 0..trials {
+            let m = 6_000;
+            let data = Dataset::from_rows(
+                (0..m)
+                    .map(|_| vec![(0.5 + rng.gen_range(-spread..spread)).clamp(0.0, 1.0)])
+                    .collect(),
+            )
+            .unwrap();
+            let inst = InteriorPointInstance::new(data);
+            let domain = GridDomain::unit_cube(1, 1 << 14).unwrap();
+            let out = int_point(&inst, &domain, 4_000, 1_800, 8.0, privacy, 0.1, &mut rng);
+            if let Ok(o) = out {
+                if inst.solved_by(o.value) {
+                    successes += 1;
+                }
+            }
+            let _ = trial;
+        }
+        let rate = successes as f64 / trials as f64;
+        table.push_row(vec![label.into(), "6000".into(), format!("{:.0}%", 100.0 * rate)]);
+        record.measure("success_rate", label, &[rate]);
+    }
+    println!("{}", table.to_markdown());
+
+    // ---- Corollary 5.4 arithmetic.
+    let mut bound_table = Table::new(
+        "Corollary 5.4: sample-complexity lower bound vs |X| and the tolerable w",
+        &["|X|", "n ≥ log*|X|", "n", "largest w covered by the bound"],
+    );
+    for log_x in [4u32, 16, 64] {
+        let size = if log_x >= 64 { u64::MAX } else { 1u64 << log_x };
+        bound_table.push_row(vec![
+            format!("2^{log_x}"),
+            corollary_5_4_sample_bound(size).to_string(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    for n in [1_000usize, 1_000_000, 1_000_000_000] {
+        bound_table.push_row(vec![
+            String::new(),
+            String::new(),
+            n.to_string(),
+            format!("{:.3e}", max_tolerable_w(n)),
+        ]);
+    }
+    println!("{}", bound_table.to_markdown());
+
+    match record.write_to(&experiments_dir()) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

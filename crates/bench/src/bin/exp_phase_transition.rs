@@ -1,0 +1,61 @@
+//! Experiment E5 — the `t ≳ √d/ε·polylog` precondition of Theorem 3.2:
+//! success rate and capture fraction as the planted cluster size `t` shrinks.
+//!
+//! `cargo run -p privcluster-bench --release --bin exp_phase_transition`
+
+use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
+use privcluster_baselines::PrivClusterSolver;
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_geometry::GridDomain;
+use privcluster_report::{line_plot, table::fmt_num, ExperimentRecord, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials = 4;
+    let privacy = standard_privacy();
+    let n = 3_000;
+    let mut record = ExperimentRecord::new("E5", "success-rate phase transition in t");
+    record.parameter("n", n);
+    record.parameter("epsilon", privacy.epsilon());
+
+    let mut table = Table::new(
+        "Success rate and capture fraction vs planted cluster size t (d=2)",
+        &["t", "t/n", "solve success rate", "mean captured / t"],
+    );
+    let mut series = Vec::new();
+    for t in [100usize, 200, 400, 800, 1_500, 2_400] {
+        let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+        let mut rng = StdRng::seed_from_u64(t as u64);
+        let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
+        let res = run_trials(&PrivClusterSolver::default(), &inst, &domain, t, privacy, 0.1, trials, 17);
+        let success = res.success_rate();
+        let capture_frac = res
+            .mean_of(|e| e.captured as f64 / t as f64)
+            .unwrap_or(0.0)
+            .min(9.99);
+        table.push_row(vec![
+            t.to_string(),
+            format!("{:.2}", t as f64 / n as f64),
+            format!("{:.0}%", 100.0 * success),
+            fmt_num(capture_frac),
+        ]);
+        series.push((t as f64, success * capture_frac.min(1.0)));
+        record.measure("success_rate", format!("t={t}"), &[success]);
+        record.measure(
+            "capture_fraction",
+            format!("t={t}"),
+            &res.collect_metric(|e| e.captured as f64 / t as f64),
+        );
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "{}",
+        line_plot("effective success vs t", &[("success × capture", series)])
+    );
+
+    match record.write_to(&experiments_dir()) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Experiment E7 — sample and aggregate (Theorem 6.3): error of the private
+//! SA mean against the non-private value, compared with GUPT-style private
+//! averaging of block outputs, as the dataset grows.
+//!
+//! `cargo run -p privcluster-bench --release --bin exp_sample_aggregate`
+
+use privcluster_agg::{gupt_style_average, private_mean_via_sa, MeanAnalysis};
+use privcluster_bench::{experiments_dir, standard_privacy};
+use privcluster_geometry::{linalg::standard_normal, Dataset, GridDomain, Point};
+use privcluster_report::{table::fmt_num, ExperimentRecord, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gaussian_data(n: usize, seed: u64) -> (Dataset, Point) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = Point::new(vec![0.43, 0.67]);
+    let data = Dataset::from_rows(
+        (0..n)
+            .map(|_| {
+                vec![
+                    (0.43 + 0.02 * standard_normal(&mut rng)).clamp(0.0, 1.0),
+                    (0.67 + 0.02 * standard_normal(&mut rng)).clamp(0.0, 1.0),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    (data, center)
+}
+
+fn main() {
+    let privacy = standard_privacy();
+    let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+    let mut record = ExperimentRecord::new("E7", "sample-and-aggregate mean vs GUPT-style averaging");
+    record.parameter("epsilon", privacy.epsilon());
+
+    let mut table = Table::new(
+        "Private mean estimation error (2-D Gaussian, σ = 0.02)",
+        &["n", "non-private error", "SA (this work) error", "GUPT-style error"],
+    );
+    for n in [20_000usize, 60_000, 120_000] {
+        let (data, truth) = gaussian_data(n, n as u64);
+        let mut rng = StdRng::seed_from_u64(n as u64 + 1);
+        let exact_err = data.mean().unwrap().distance(&truth);
+
+        let sa_err = match private_mean_via_sa(&data, &domain, 12, 0.8, privacy, 0.1, &mut rng) {
+            Ok(out) => out.point.distance(&truth),
+            Err(_) => f64::NAN,
+        };
+        let gupt_err =
+            match gupt_style_average(&data, &MeanAnalysis, &domain, n / 10, privacy, &mut rng) {
+                Ok(avg) => avg.distance(&truth),
+                Err(_) => f64::NAN,
+            };
+        table.push_row(vec![
+            n.to_string(),
+            fmt_num(exact_err),
+            fmt_num(sa_err),
+            fmt_num(gupt_err),
+        ]);
+        record.measure("sa_error", format!("n={n}"), &[sa_err]);
+        record.measure("gupt_error", format!("n={n}"), &[gupt_err]);
+        record.measure("nonprivate_error", format!("n={n}"), &[exact_err]);
+    }
+    println!("{}", table.to_markdown());
+    match record.write_to(&experiments_dir()) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

@@ -1,0 +1,83 @@
+//! Experiment T1 — reproduce Table 1: compare every method on the same
+//! planted-cluster workloads and report usable cluster size, additive loss,
+//! radius ratio and running time.
+//!
+//! `cargo run -p privcluster-bench --release --bin exp_table1`
+
+use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
+use privcluster_baselines::{
+    ExponentialGridSolver, NonPrivateTwoApprox, OneClusterSolver, PrivClusterSolver,
+    PrivateAggregationSolver, ThresholdReleaseSolver,
+};
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_geometry::GridDomain;
+use privcluster_report::{table::fmt_num, ExperimentRecord, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials = 5;
+    let beta = 0.1;
+    let privacy = standard_privacy();
+    let mut record = ExperimentRecord::new("T1", "Table 1: method comparison on planted clusters");
+    record.parameter("epsilon", privacy.epsilon());
+    record.parameter("delta", privacy.delta());
+    record.parameter("trials", trials);
+
+    // Two regimes: a majority cluster (where private aggregation is at its
+    // best) and a 30% minority cluster (where it is not). The grid is coarse
+    // enough for the exponential-mechanism baseline to run.
+    let configs = [("majority t=0.8n", 0.8), ("minority t=0.3n", 0.3)];
+    let mut table = Table::new(
+        "Table 1 reproduction (d=2, |X|=33, n=1500, radius 0.04)",
+        &["regime", "method", "private", "success", "captured/t", "radius/ref", "time (ms)"],
+    );
+
+    for (label, frac) in configs {
+        let domain = GridDomain::unit_cube(2, 33).unwrap();
+        let n = 1_500;
+        let t = (frac * n as f64) as usize;
+        let mut rng = StdRng::seed_from_u64(2016);
+        let inst = planted_ball_cluster(&domain, n, t, 0.04, &mut rng);
+
+        let solvers: Vec<Box<dyn OneClusterSolver>> = vec![
+            Box::new(PrivClusterSolver::default()),
+            Box::new(PrivateAggregationSolver),
+            Box::new(ExponentialGridSolver::default()),
+            Box::new(ThresholdReleaseSolver::default()), // d=1 only: reported as refusal here
+            Box::new(NonPrivateTwoApprox),
+        ];
+        for solver in solvers {
+            let results = run_trials(solver.as_ref(), &inst, &domain, t, privacy, beta, trials, 7);
+            let success = results.success_rate();
+            let captured = results.mean_of(|e| e.captured as f64);
+            let ratio = results.mean_of(|e| e.radius_ratio);
+            let ms: Vec<f64> = results
+                .iter()
+                .map(|r| r.runtime.as_secs_f64() * 1e3)
+                .collect();
+            let mean_ms = ms.iter().sum::<f64>() / ms.len().max(1) as f64;
+            table.push_row(vec![
+                label.to_string(),
+                solver.name().to_string(),
+                solver.is_private().to_string(),
+                format!("{:.0}%", 100.0 * success),
+                captured
+                    .map(|c| format!("{:.0}/{t}", c))
+                    .unwrap_or_else(|| "—".into()),
+                ratio.map(fmt_num).unwrap_or_else(|| "—".into()),
+                fmt_num(mean_ms),
+            ]);
+            let setting = format!("{label}/{}", solver.name());
+            record.measure("captured", &setting, &results.collect_metric(|e| e.captured as f64));
+            record.measure("radius_ratio", &setting, &results.collect_metric(|e| e.radius_ratio));
+            record.measure("runtime_ms", &setting, &ms);
+        }
+    }
+
+    println!("{}", table.to_markdown());
+    match record.write_to(&experiments_dir()) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the 1-cluster algorithms.
+
+use privcluster_dp::DpError;
+use privcluster_geometry::GeometryError;
+use std::fmt;
+
+/// Errors produced by the 1-cluster pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A parameter was invalid (t > n, β outside (0,1), …).
+    InvalidParameter(String),
+    /// The requested guarantee requires a larger cluster than `t`
+    /// (Theorem 3.2's lower bound on `t`); raised only in strict mode.
+    ClusterTooSmall {
+        /// The `t` the caller asked for.
+        requested_t: usize,
+        /// The smallest `t` for which the configured guarantee holds.
+        required_t: f64,
+    },
+    /// GoodCenter exhausted its sparse-vector rounds without finding a heavy
+    /// box (the failure outcome of Algorithm 2, step 6).
+    CenterNotFound(String),
+    /// An error from the DP substrate.
+    Dp(DpError),
+    /// An error from the geometry substrate.
+    Geometry(GeometryError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            ClusterError::ClusterTooSmall {
+                requested_t,
+                required_t,
+            } => write!(
+                f,
+                "cluster size t = {requested_t} is below the required t ≥ {required_t:.1} for the configured guarantee"
+            ),
+            ClusterError::CenterNotFound(m) => write!(f, "failed to locate a cluster center: {m}"),
+            ClusterError::Dp(e) => write!(f, "privacy mechanism error: {e}"),
+            ClusterError::Geometry(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Dp(e) => Some(e),
+            ClusterError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpError> for ClusterError {
+    fn from(e: DpError) -> Self {
+        ClusterError::Dp(e)
+    }
+}
+
+impl From<GeometryError> for ClusterError {
+    fn from(e: GeometryError) -> Self {
+        ClusterError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ClusterError = DpError::NoOutput.into();
+        assert!(matches!(e, ClusterError::Dp(_)));
+        let g: ClusterError = GeometryError::EmptyDataset.into();
+        assert!(matches!(g, ClusterError::Geometry(_)));
+        let s = ClusterError::ClusterTooSmall {
+            requested_t: 10,
+            required_t: 120.0,
+        }
+        .to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("120"));
+        assert!(ClusterError::CenterNotFound("no heavy box".into())
+            .to_string()
+            .contains("no heavy box"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(ClusterError::InvalidParameter("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,476 @@
+//! Algorithm 1: `GoodRadius`.
+//!
+//! Privately approximates the radius of the smallest ball containing `t`
+//! input points. The key object is the averaged score
+//!
+//! `L(r, S) = (1/t)·Σ (t largest capped ball counts B̄_r(x_i))`,
+//!
+//! which has sensitivity 2 (Lemma 4.5) and satisfies: `L(r) ≥ t − loss` means
+//! some input-centred ball of radius `r` holds ≈ `t` points, while
+//! `L(r/2) < t` forces `r ≤ 4·r_opt` (the doubling argument of §3.1). The
+//! algorithm therefore
+//!
+//! 1. handles the degenerate radius-0 cluster with one Laplace test (step 2),
+//! 2. builds the quality `Q(r) = ½·min(t − L(r/2), L(r) − t + 4Γ)` — which is
+//!    quasi-concave, sensitivity-1, and reaches `Γ` at some grid radius
+//!    whenever the instance is feasible — and
+//! 3. hands `Q` over the radius grid `{0, ℓ/2, 2·ℓ/2, …, ⌈L√d⌉}` to a private
+//!    quasi-concave solver (step 4).
+//!
+//! The solver is pluggable ([`RadiusSearchStrategy`]): the default is the
+//! exponential mechanism over the grid exploiting the piecewise-constant
+//! structure of `Q` (Remark 4.4's efficiency), the alternative is the
+//! footnote-2 noisy binary search on the monotone `L`.
+
+use crate::config::{GoodRadiusConfig, RadiusSearchStrategy};
+use crate::diagnostics::Diagnostics;
+use crate::error::ClusterError;
+use privcluster_dp::quasiconcave::{solve_quasiconcave, QcSolverConfig, QualityOracle};
+use privcluster_dp::sampling::laplace;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::ball_count::LProfile;
+use privcluster_geometry::{BallCounter, Dataset, GridDomain};
+use rand::Rng;
+
+/// The result of a GoodRadius run.
+#[derive(Debug, Clone)]
+pub struct GoodRadiusOutcome {
+    /// The released radius.
+    pub radius: f64,
+    /// Whether the degenerate radius-0 branch (step 2) fired.
+    pub degenerate_zero: bool,
+    /// The quality promise Γ the solver required (drives the loss bound).
+    pub gamma: f64,
+    /// With probability `1 − β`, some ball of radius `radius` contains at
+    /// least `t − loss_bound` input points.
+    pub loss_bound: f64,
+    /// Execution trace.
+    pub diagnostics: Diagnostics,
+}
+
+/// The sensitivity-1 quality `Q(r) = ½·min(t − L(r/2), L(r) − t + 4Γ)` over
+/// the radius grid, exposing its piecewise-constant segments.
+struct RadiusQuality<'a> {
+    domain: &'a GridDomain,
+    profile: &'a LProfile,
+    t: f64,
+    /// The additive slack used in the second branch of the quality. Equals
+    /// the paper's `4Γ` whenever `4Γ ≤ t/2`; otherwise it is clamped to
+    /// `t/2`, which keeps the quality peaked around the true radius in the
+    /// regime where the formal guarantee is vacuous anyway (the clamp is a
+    /// data-independent constant, so privacy is unaffected).
+    slack: f64,
+    grid_len: u64,
+}
+
+impl RadiusQuality<'_> {
+    fn quality_at_radius(&self, r: f64) -> f64 {
+        let l_r = self.profile.value_at(r);
+        let l_half = self.profile.value_at(r / 2.0);
+        0.5 * (self.t - l_half).min(l_r - self.t + self.slack)
+    }
+}
+
+impl QualityOracle for RadiusQuality<'_> {
+    fn len(&self) -> u64 {
+        self.grid_len
+    }
+
+    fn quality(&self, index: u64) -> f64 {
+        self.quality_at_radius(self.domain.radius_from_index(index))
+    }
+
+    fn segment_starts(&self) -> Option<Vec<u64>> {
+        // Q changes only where L(r) or L(r/2) changes: at grid radii that
+        // first reach a pairwise distance d, or first reach 2·d.
+        let mut starts: Vec<u64> = vec![0];
+        for &bp in self.profile.breakpoints() {
+            for candidate in [bp, 2.0 * bp] {
+                let idx = self.domain.radius_index_ceil(candidate);
+                if idx > 0 && idx < self.grid_len {
+                    starts.push(idx);
+                }
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        Some(starts)
+    }
+}
+
+/// Runs Algorithm 1 on `data` with target cluster size `t`, privacy budget
+/// `privacy` (consumed entirely by this call), failure probability `beta`,
+/// and the given search strategy.
+pub fn good_radius<R: Rng + ?Sized>(
+    data: &Dataset,
+    domain: &GridDomain,
+    t: usize,
+    privacy: PrivacyParams,
+    beta: f64,
+    config: &GoodRadiusConfig,
+    rng: &mut R,
+) -> Result<GoodRadiusOutcome, ClusterError> {
+    if data.dim() != domain.dim() {
+        return Err(ClusterError::InvalidParameter(format!(
+            "data dimension {} does not match domain dimension {}",
+            data.dim(),
+            domain.dim()
+        )));
+    }
+    if t == 0 || t > data.len() {
+        return Err(ClusterError::InvalidParameter(format!(
+            "t must satisfy 1 <= t <= n (t = {t}, n = {})",
+            data.len()
+        )));
+    }
+    if !(beta.is_finite() && beta > 0.0 && beta < 1.0) {
+        return Err(ClusterError::InvalidParameter(format!(
+            "beta must lie in (0,1), got {beta}"
+        )));
+    }
+    if !(config.alpha > 0.0 && config.alpha < 1.0) {
+        return Err(ClusterError::InvalidParameter(format!(
+            "alpha must lie in (0,1), got {}",
+            config.alpha
+        )));
+    }
+
+    let eps = privacy.epsilon();
+    let delta = privacy.delta();
+    let mut diagnostics = Diagnostics::new();
+    let grid_len = domain.radius_grid_len();
+    diagnostics.metric("radius_grid_len", grid_len as f64);
+
+    // Precompute L at all breakpoints once (O(n² log² n)).
+    let counter = BallCounter::new(data, t);
+    let profile = counter.l_profile();
+
+    // The quality promise the configured solver needs.
+    let solver_cfg = QcSolverConfig::new(eps / 2.0, delta, config.alpha, beta / 2.0)?;
+    let gamma = match config.strategy {
+        RadiusSearchStrategy::PiecewiseExpMech => solver_cfg.required_promise(grid_len),
+        RadiusSearchStrategy::NoisyBinarySearch => {
+            // per-comparison error bound, aggregated below
+            let steps = (grid_len.max(2) as f64).log2().ceil();
+            (4.0 * steps / eps) * (2.0 * steps / (beta / 2.0)).ln() / 2.0
+        }
+    };
+    diagnostics.metric("gamma", gamma);
+
+    // ---- Step 2: the degenerate radius-0 cluster. L has sensitivity 2, so
+    // Lap(4/ε) noise makes this an (ε/2, 0)-DP test.
+    let step2_scale = 4.0 / eps;
+    let noisy_l0 = profile.value_at(0.0) + laplace(rng, step2_scale);
+    let step2_slack = step2_scale * (2.0 / beta).ln();
+    diagnostics.charge("step2_zero_radius_test", PrivacyParams::pure(eps / 2.0)?);
+    diagnostics.metric("noisy_l0", noisy_l0);
+    let loss_bound = 4.0 * gamma + step2_slack;
+    // The paper's threshold is t − 2Γ − slack. When t is within a small
+    // factor of 2Γ that threshold is close to zero (or negative) and a single
+    // Laplace tail would spuriously declare a radius-0 cluster; we therefore
+    // never fire the shortcut unless the noisy score also clears t/2. The
+    // floor is data-independent (privacy unaffected), and whenever the
+    // theorem's precondition t ≳ 4Γ holds with a factor-2 margin the floor is
+    // below the paper's threshold, so Lemma 4.6's argument is unchanged.
+    let zero_threshold = (t as f64 - 2.0 * gamma - step2_slack).max(t as f64 / 2.0);
+    if noisy_l0 > zero_threshold {
+        diagnostics.event("degenerate radius-0 cluster detected in step 2");
+        return Ok(GoodRadiusOutcome {
+            radius: 0.0,
+            degenerate_zero: true,
+            gamma,
+            loss_bound,
+            diagnostics,
+        });
+    }
+
+    // ---- Step 4: private search over the radius grid.
+    let oracle = RadiusQuality {
+        domain,
+        profile: &profile,
+        t: t as f64,
+        slack: (4.0 * gamma).min(t as f64 / 2.0),
+        grid_len,
+    };
+
+    let radius = match config.strategy {
+        RadiusSearchStrategy::PiecewiseExpMech => {
+            let idx = solve_quasiconcave(&oracle, &solver_cfg, rng)?;
+            diagnostics.charge(
+                "step4_piecewise_exp_mech",
+                PrivacyParams::new(eps / 2.0, delta)?,
+            );
+            diagnostics.metric("chosen_grid_index", idx as f64);
+            domain.radius_from_index(idx)
+        }
+        RadiusSearchStrategy::NoisyBinarySearch => {
+            let steps = (grid_len.max(2) as f64).log2().ceil() as usize;
+            let per_step_scale = 4.0 * steps as f64 / eps; // sensitivity 2, budget ε/2 over `steps` comparisons
+            let err = per_step_scale * (2.0 * steps as f64 / (beta / 2.0)).ln();
+            let target = t as f64 - err;
+            let mut lo = 0u64;
+            let mut hi = grid_len - 1;
+            for _ in 0..steps {
+                if lo >= hi {
+                    break;
+                }
+                let mid = lo + (hi - lo) / 2;
+                let noisy =
+                    profile.value_at(domain.radius_from_index(mid)) + laplace(rng, per_step_scale);
+                if noisy >= target {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            diagnostics.charge(
+                "step4_noisy_binary_search",
+                PrivacyParams::pure(eps / 2.0)?,
+            );
+            diagnostics.metric("chosen_grid_index", hi as f64);
+            domain.radius_from_index(hi)
+        }
+    };
+
+    diagnostics.metric("radius", radius);
+    Ok(GoodRadiusOutcome {
+        radius,
+        degenerate_zero: false,
+        gamma,
+        loss_bound,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privcluster_datagen::planted_ball_cluster;
+    use privcluster_geometry::smallest_ball_two_approx;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn default_privacy() -> PrivacyParams {
+        PrivacyParams::new(1.0, 1e-6).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+        let data = Dataset::from_rows(vec![vec![0.0, 0.0], vec![0.1, 0.1]]).unwrap();
+        let cfg = GoodRadiusConfig::default();
+        assert!(good_radius(&data, &domain, 0, default_privacy(), 0.1, &cfg, &mut rng).is_err());
+        assert!(good_radius(&data, &domain, 3, default_privacy(), 0.1, &cfg, &mut rng).is_err());
+        assert!(good_radius(&data, &domain, 1, default_privacy(), 0.0, &cfg, &mut rng).is_err());
+        let wrong_dim = GridDomain::unit_cube(3, 1 << 10).unwrap();
+        assert!(good_radius(&data, &wrong_dim, 1, default_privacy(), 0.1, &cfg, &mut rng).is_err());
+        let bad_alpha = GoodRadiusConfig {
+            alpha: 1.5,
+            ..GoodRadiusConfig::default()
+        };
+        assert!(
+            good_radius(&data, &domain, 1, default_privacy(), 0.1, &bad_alpha, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn quality_function_is_quasi_concave_on_planted_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+        let inst = planted_ball_cluster(&domain, 300, 150, 0.02, &mut rng);
+        let t = 120usize;
+        let counter = BallCounter::new(&inst.data, t);
+        let profile = counter.l_profile();
+        let oracle = RadiusQuality {
+            domain: &domain,
+            profile: &profile,
+            t: t as f64,
+            slack: 80.0,
+            grid_len: domain.radius_grid_len(),
+        };
+        // Sample the quality on a coarse index grid and check quasi-concavity:
+        // Q(mid) >= min(Q(left), Q(right)).
+        let len = oracle.len();
+        let probes: Vec<u64> = (0..60).map(|i| i * (len - 1) / 59).collect();
+        for i in 0..probes.len() {
+            for j in (i + 1)..probes.len() {
+                for k in (j + 1)..probes.len() {
+                    let (a, b, c) = (
+                        oracle.quality(probes[i]),
+                        oracle.quality(probes[j]),
+                        oracle.quality(probes[k]),
+                    );
+                    assert!(
+                        b >= a.min(c) - 1e-9,
+                        "quasi-concavity violated at ({},{},{})",
+                        probes[i],
+                        probes[j],
+                        probes[k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_describe_constant_pieces_of_the_quality() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain = GridDomain::unit_cube(2, 1 << 8).unwrap();
+        let inst = planted_ball_cluster(&domain, 60, 30, 0.05, &mut rng);
+        let t = 25usize;
+        let counter = BallCounter::new(&inst.data, t);
+        let profile = counter.l_profile();
+        let oracle = RadiusQuality {
+            domain: &domain,
+            profile: &profile,
+            t: t as f64,
+            slack: 20.0,
+            grid_len: domain.radius_grid_len(),
+        };
+        let starts = oracle.segment_starts().unwrap();
+        assert_eq!(starts[0], 0);
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        // Within each segment the quality must be constant.
+        for (i, &s) in starts.iter().enumerate() {
+            let end = if i + 1 < starts.len() {
+                starts[i + 1]
+            } else {
+                oracle.len()
+            };
+            let q0 = oracle.quality(s);
+            // probe a few indices inside
+            for probe in [s, s + (end - s) / 2, end - 1] {
+                assert!(
+                    (oracle.quality(probe) - q0).abs() < 1e-9,
+                    "segment [{s},{end}) not constant at {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_of_l_is_at_most_two() {
+        // Lemma 4.5 on the paper's own worst-case example plus random swaps.
+        let (s, s_neighbour) = privcluster_datagen::sensitivity_example(20, 2);
+        let t = 20usize;
+        let a = BallCounter::new(&s, t).l_profile();
+        let b = BallCounter::new(&s_neighbour, t).l_profile();
+        for r in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0] {
+            assert!(
+                (a.value_at(r) - b.value_at(r)).abs() <= 2.0 + 1e-9,
+                "sensitivity violated at r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn finds_a_radius_comparable_to_the_planted_cluster() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
+        let n = 600;
+        let t = 300;
+        let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
+        let cfg = GoodRadiusConfig::default();
+        let out = good_radius(
+            &inst.data,
+            &domain,
+            t,
+            default_privacy(),
+            0.1,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!out.degenerate_zero);
+        // There must actually exist a ball of the returned radius holding
+        // ≈ t − loss points (we verify non-privately).
+        let counter = BallCounter::new(&inst.data, t);
+        let achieved = counter.max_capped_count(out.radius) as f64;
+        assert!(
+            achieved >= t as f64 - out.loss_bound - 1.0,
+            "radius {} only captures {achieved} (needs ≥ {})",
+            out.radius,
+            t as f64 - out.loss_bound
+        );
+        // And the radius must be within a constant factor of the 2-approx
+        // (hence within ~8x of r_opt; the paper proves 4x w.h.p.).
+        let two_approx = smallest_ball_two_approx(&inst.data, t).unwrap().radius();
+        assert!(
+            out.radius <= 4.0 * two_approx + domain.grid_step(),
+            "radius {} vs 2-approx {two_approx}",
+            out.radius
+        );
+        assert!(out.diagnostics.metric_value("radius").is_some());
+    }
+
+    #[test]
+    fn noisy_binary_search_strategy_also_works() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
+        let t = 300;
+        let inst = planted_ball_cluster(&domain, 600, t, 0.02, &mut rng);
+        let cfg = GoodRadiusConfig {
+            strategy: RadiusSearchStrategy::NoisyBinarySearch,
+            alpha: 0.5,
+        };
+        let out = good_radius(
+            &inst.data,
+            &domain,
+            t,
+            default_privacy(),
+            0.1,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        let counter = BallCounter::new(&inst.data, t);
+        let achieved = counter.max_capped_count(out.radius) as f64;
+        assert!(achieved >= t as f64 - out.loss_bound - 1.0);
+        let two_approx = smallest_ball_two_approx(&inst.data, t).unwrap().radius();
+        assert!(out.radius <= 4.0 * two_approx + domain.grid_step());
+    }
+
+    #[test]
+    fn degenerate_cluster_of_identical_points_returns_radius_zero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+        // 400 identical points plus 100 scattered ones; t = 300.
+        let mut rows = vec![vec![0.25, 0.25]; 400];
+        for i in 0..100 {
+            rows.push(vec![0.7 + (i as f64) * 1e-3, 0.1 + (i as f64) * 1e-3]);
+        }
+        let data = Dataset::from_rows(rows).unwrap();
+        let out = good_radius(
+            &data,
+            &domain,
+            300,
+            default_privacy(),
+            0.1,
+            &GoodRadiusConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.degenerate_zero);
+        assert_eq!(out.radius, 0.0);
+    }
+
+    #[test]
+    fn privacy_ledger_stays_within_the_declared_budget() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+        let inst = planted_ball_cluster(&domain, 200, 100, 0.03, &mut rng);
+        let privacy = PrivacyParams::new(0.7, 1e-7).unwrap();
+        let out = good_radius(
+            &inst.data,
+            &domain,
+            100,
+            privacy,
+            0.1,
+            &GoodRadiusConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        out.diagnostics.ledger().verify_within(privacy).unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! Two-dimensional "map search" hotspot data (§1.1's data-exploration
+//! scenario: privately locating areas where a class of a population
+//! concentrates).
+
+use crate::mixture::{gaussian_mixture, MixtureInstance};
+use privcluster_geometry::GridDomain;
+use rand::Rng;
+
+/// Generates a 2-D map-like instance: `hotspots` dense Gaussian hotspots of
+/// `per_hotspot` points each with standard deviation `spread`, plus
+/// `background` uniformly scattered points, all quantized onto `domain`
+/// (which must be two-dimensional — think latitude/longitude rescaled into
+/// the unit square).
+pub fn geo_hotspots<R: Rng + ?Sized>(
+    domain: &GridDomain,
+    hotspots: usize,
+    per_hotspot: usize,
+    spread: f64,
+    background: usize,
+    rng: &mut R,
+) -> MixtureInstance {
+    assert_eq!(domain.dim(), 2, "geo data is two-dimensional");
+    gaussian_mixture(domain, hotspots, per_hotspot, spread, background, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geo_instances_are_two_dimensional_mixtures() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+        let m = geo_hotspots(&domain, 3, 150, 0.004, 100, &mut rng);
+        assert_eq!(m.data.dim(), 2);
+        assert_eq!(m.data.len(), 550);
+        assert_eq!(m.components.len(), 3);
+        assert!(m.coverage(&m.components) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-dimensional")]
+    fn non_planar_domains_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let domain = GridDomain::unit_cube(3, 64).unwrap();
+        let _ = geo_hotspots(&domain, 2, 10, 0.01, 0, &mut rng);
+    }
+}

@@ -1,0 +1,232 @@
+//! Composition theorems and a privacy ledger.
+//!
+//! * Basic composition (Theorem 2.1): `k` adaptive interactions with
+//!   `(ε, δ)`-DP mechanisms are `(kε, kδ)`-DP.
+//! * Advanced composition (Theorem 4.7, Dwork–Rothblum–Vadhan): they are also
+//!   `(ε', kδ + δ')`-DP for `ε' = 2kε² + ε·√(2k·ln(1/δ'))`.
+//!
+//! [`PrivacyLedger`] records every charge an algorithm makes against its
+//! budget. The paper's algorithms split their budgets *statically* (e.g.
+//! GoodCenter charges ε/4 to four sub-mechanisms), and the ledger lets tests
+//! and the experiment harness verify that the declared total is never
+//! exceeded under either composition theorem.
+
+use crate::error::DpError;
+use crate::params::PrivacyParams;
+
+/// Basic composition (Theorem 2.1): sums ε and δ over the parts.
+pub fn basic_composition(parts: &[PrivacyParams]) -> Result<PrivacyParams, DpError> {
+    if parts.is_empty() {
+        return Err(DpError::InvalidParameter(
+            "cannot compose an empty list of mechanisms".into(),
+        ));
+    }
+    let eps: f64 = parts.iter().map(|p| p.epsilon()).sum();
+    let delta: f64 = parts.iter().map(|p| p.delta()).sum();
+    PrivacyParams::new(eps, delta.min(1.0 - f64::EPSILON))
+}
+
+/// Advanced composition (Theorem 4.7): `k` adaptive uses of an
+/// `(ε, δ)`-private mechanism are `(ε', kδ + δ')`-private for
+/// `ε' = 2kε² + ε√(2k ln(1/δ'))`.
+pub fn advanced_composition(
+    per_mechanism: PrivacyParams,
+    k: usize,
+    delta_prime: f64,
+) -> Result<PrivacyParams, DpError> {
+    if k == 0 {
+        return Err(DpError::InvalidParameter(
+            "advanced composition needs at least one mechanism".into(),
+        ));
+    }
+    if !(delta_prime.is_finite() && delta_prime > 0.0 && delta_prime < 1.0) {
+        return Err(DpError::InvalidPrivacyParams(format!(
+            "delta_prime must lie in (0,1), got {delta_prime}"
+        )));
+    }
+    let eps = per_mechanism.epsilon();
+    let kf = k as f64;
+    let eps_total = 2.0 * kf * eps * eps + eps * (2.0 * kf * (1.0 / delta_prime).ln()).sqrt();
+    let delta_total = kf * per_mechanism.delta() + delta_prime;
+    PrivacyParams::new(eps_total, delta_total.min(1.0 - f64::EPSILON))
+}
+
+/// Given a total ε budget, `k` mechanisms, and a composition slack `δ'`,
+/// returns the largest per-mechanism ε such that advanced composition stays
+/// within the budget. (Solves the quadratic of Theorem 4.7; used by
+/// GoodCenter's per-axis interval choices, step 9c.)
+pub fn per_mechanism_epsilon_for_advanced(
+    total_epsilon: f64,
+    k: usize,
+    delta_prime: f64,
+) -> Result<f64, DpError> {
+    if !(total_epsilon.is_finite() && total_epsilon > 0.0) {
+        return Err(DpError::InvalidPrivacyParams(format!(
+            "total epsilon must be positive, got {total_epsilon}"
+        )));
+    }
+    if k == 0 {
+        return Err(DpError::InvalidParameter(
+            "need at least one mechanism".into(),
+        ));
+    }
+    if !(delta_prime.is_finite() && delta_prime > 0.0 && delta_prime < 1.0) {
+        return Err(DpError::InvalidPrivacyParams(format!(
+            "delta_prime must lie in (0,1), got {delta_prime}"
+        )));
+    }
+    // Solve 2k x^2 + x sqrt(2k ln(1/δ')) = ε_total for x > 0.
+    let a = 2.0 * k as f64;
+    let b = (2.0 * k as f64 * (1.0 / delta_prime).ln()).sqrt();
+    let c = -total_epsilon;
+    let x = (-b + (b * b - 4.0 * a * c).sqrt()) / (2.0 * a);
+    Ok(x)
+}
+
+/// One entry of a [`PrivacyLedger`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Human-readable name of the sub-mechanism.
+    pub label: String,
+    /// Its privacy parameters.
+    pub params: PrivacyParams,
+}
+
+/// Records the privacy charges of an algorithm's sub-mechanisms.
+#[derive(Debug, Clone, Default)]
+pub struct PrivacyLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl PrivacyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        PrivacyLedger::default()
+    }
+
+    /// Records a charge.
+    pub fn charge(&mut self, label: impl Into<String>, params: PrivacyParams) {
+        self.entries.push(LedgerEntry {
+            label: label.into(),
+            params,
+        });
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Number of charges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no charges were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total privacy cost under basic composition.
+    pub fn total_basic(&self) -> Result<PrivacyParams, DpError> {
+        basic_composition(
+            &self
+                .entries
+                .iter()
+                .map(|e| e.params)
+                .collect::<Vec<PrivacyParams>>(),
+        )
+    }
+
+    /// Verifies the ledger total (basic composition) does not exceed `budget`
+    /// (up to a small numerical slack).
+    pub fn verify_within(&self, budget: PrivacyParams) -> Result<(), DpError> {
+        let total = self.total_basic()?;
+        let slack = 1e-9;
+        if total.epsilon() > budget.epsilon() * (1.0 + slack) + slack
+            || total.delta() > budget.delta() * (1.0 + slack) + 1e-15
+        {
+            return Err(DpError::BudgetExhausted {
+                requested_epsilon: total.epsilon(),
+                remaining_epsilon: budget.epsilon(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_composition_sums() {
+        let p = PrivacyParams::new(0.5, 1e-6).unwrap();
+        let total = basic_composition(&[p, p, p]).unwrap();
+        assert!((total.epsilon() - 1.5).abs() < 1e-12);
+        assert!((total.delta() - 3e-6).abs() < 1e-15);
+        assert!(basic_composition(&[]).is_err());
+    }
+
+    #[test]
+    fn advanced_composition_beats_basic_for_many_mechanisms() {
+        let per = PrivacyParams::new(0.01, 1e-9).unwrap();
+        let k = 10_000;
+        let advanced = advanced_composition(per, k, 1e-6).unwrap();
+        let basic = basic_composition(&vec![per; k]).unwrap();
+        assert!(advanced.epsilon() < basic.epsilon());
+        assert!(advanced_composition(per, 0, 1e-6).is_err());
+        assert!(advanced_composition(per, 10, 0.0).is_err());
+    }
+
+    #[test]
+    fn advanced_composition_matches_paper_formula() {
+        let per = PrivacyParams::new(0.1, 0.0).unwrap();
+        let k = 100;
+        let dp = 1e-6;
+        let out = advanced_composition(per, k, dp).unwrap();
+        let expected = 2.0 * 100.0 * 0.01 + 0.1 * (200.0 * (1e6_f64).ln()).sqrt();
+        assert!((out.epsilon() - expected).abs() < 1e-9);
+        assert!((out.delta() - dp).abs() < 1e-15);
+    }
+
+    #[test]
+    fn per_mechanism_epsilon_inverts_advanced_composition() {
+        let total = 1.0;
+        let k = 64;
+        let dp = 1e-8;
+        let per = per_mechanism_epsilon_for_advanced(total, k, dp).unwrap();
+        let recomposed = advanced_composition(PrivacyParams::pure(per).unwrap(), k, dp).unwrap();
+        assert!(
+            (recomposed.epsilon() - total).abs() < 1e-9,
+            "recomposed = {}",
+            recomposed.epsilon()
+        );
+        assert!(per_mechanism_epsilon_for_advanced(0.0, k, dp).is_err());
+        assert!(per_mechanism_epsilon_for_advanced(1.0, 0, dp).is_err());
+        assert!(per_mechanism_epsilon_for_advanced(1.0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn ledger_tracks_and_verifies_budgets() {
+        let mut ledger = PrivacyLedger::new();
+        assert!(ledger.is_empty());
+        let quarter = PrivacyParams::new(0.25, 2.5e-7).unwrap();
+        for label in ["above_threshold", "box_choice", "axis_intervals", "noisy_avg"] {
+            ledger.charge(label, quarter);
+        }
+        assert_eq!(ledger.len(), 4);
+        assert_eq!(ledger.entries()[0].label, "above_threshold");
+        let total = ledger.total_basic().unwrap();
+        assert!((total.epsilon() - 1.0).abs() < 1e-12);
+        assert!(ledger
+            .verify_within(PrivacyParams::new(1.0, 1e-6).unwrap())
+            .is_ok());
+        assert!(ledger
+            .verify_within(PrivacyParams::new(0.5, 1e-6).unwrap())
+            .is_err());
+        assert!(ledger
+            .verify_within(PrivacyParams::new(1.0, 1e-8).unwrap())
+            .is_err());
+    }
+}

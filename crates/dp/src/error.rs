@@ -1,0 +1,82 @@
+//! Error type shared by the DP crate.
+
+use privcluster_geometry::GeometryError;
+use std::fmt;
+
+/// Errors produced by differentially private mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// Privacy parameters were out of range (ε ≤ 0, δ ∉ [0,1), …).
+    InvalidPrivacyParams(String),
+    /// A non-privacy parameter was out of range.
+    InvalidParameter(String),
+    /// The input is too small for the requested guarantee (e.g. the paper's
+    /// lower bounds on `t` or on the quality promise are violated).
+    InsufficientData(String),
+    /// A privacy ledger ran out of budget.
+    BudgetExhausted {
+        /// ε that was requested.
+        requested_epsilon: f64,
+        /// ε remaining in the ledger.
+        remaining_epsilon: f64,
+    },
+    /// The mechanism declined to produce an output (the `⊥` outcome of
+    /// `NoisyAVG` or of a stability histogram whose bins are all light).
+    NoOutput,
+    /// An error bubbled up from the geometry substrate.
+    Geometry(GeometryError),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidPrivacyParams(m) => write!(f, "invalid privacy parameters: {m}"),
+            DpError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            DpError::InsufficientData(m) => write!(f, "insufficient data for guarantee: {m}"),
+            DpError::BudgetExhausted {
+                requested_epsilon,
+                remaining_epsilon,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε = {requested_epsilon}, remaining ε = {remaining_epsilon}"
+            ),
+            DpError::NoOutput => write!(f, "mechanism declined to produce an output (⊥)"),
+            DpError::Geometry(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DpError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for DpError {
+    fn from(e: GeometryError) -> Self {
+        DpError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DpError::BudgetExhausted {
+            requested_epsilon: 1.0,
+            remaining_epsilon: 0.5,
+        };
+        assert!(e.to_string().contains("requested ε = 1"));
+        assert!(DpError::NoOutput.to_string().contains("⊥"));
+        let g: DpError = GeometryError::EmptyDataset.into();
+        assert!(matches!(g, DpError::Geometry(_)));
+        use std::error::Error;
+        assert!(g.source().is_some());
+        assert!(DpError::NoOutput.source().is_none());
+    }
+}

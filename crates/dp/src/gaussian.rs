@@ -1,0 +1,151 @@
+//! The Gaussian mechanism (Theorem 2.4).
+//!
+//! For `ε, δ ∈ (0, 1)` and a function `f : U* → R^d` of L2-sensitivity `k`,
+//! adding independent `N(0, σ²)` noise with
+//! `σ ≥ (k/ε)·√(2 ln(1.25/δ))` to every coordinate is `(ε, δ)`-differentially
+//! private. `GoodCenter` uses it (through [`crate::noisy_avg`]) to release the
+//! noisy average of the points captured in the final box.
+
+use crate::error::DpError;
+use crate::sampling::gaussian;
+use rand::Rng;
+
+/// The Gaussian mechanism for L2-sensitivity-bounded vector releases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianMechanism {
+    epsilon: f64,
+    delta: f64,
+    l2_sensitivity: f64,
+}
+
+impl GaussianMechanism {
+    /// Creates a mechanism; requires `ε ∈ (0, 1)`, `δ ∈ (0, 1)` and a positive
+    /// sensitivity (the classical analysis of Theorem 2.4 needs ε < 1).
+    pub fn new(epsilon: f64, delta: f64, l2_sensitivity: f64) -> Result<Self, DpError> {
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0) {
+            return Err(DpError::InvalidPrivacyParams(format!(
+                "Gaussian mechanism requires epsilon in (0,1), got {epsilon}"
+            )));
+        }
+        if !(delta.is_finite() && delta > 0.0 && delta < 1.0) {
+            return Err(DpError::InvalidPrivacyParams(format!(
+                "Gaussian mechanism requires delta in (0,1), got {delta}"
+            )));
+        }
+        if !(l2_sensitivity.is_finite() && l2_sensitivity > 0.0) {
+            return Err(DpError::InvalidParameter(format!(
+                "L2 sensitivity must be positive, got {l2_sensitivity}"
+            )));
+        }
+        Ok(GaussianMechanism {
+            epsilon,
+            delta,
+            l2_sensitivity,
+        })
+    }
+
+    /// The calibrated per-coordinate noise standard deviation
+    /// `σ = (k/ε)·√(2 ln(1.25/δ))`.
+    pub fn sigma(&self) -> f64 {
+        self.l2_sensitivity / self.epsilon * (2.0 * (1.25 / self.delta).ln()).sqrt()
+    }
+
+    /// ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Releases a vector-valued query.
+    pub fn release_vec<R: Rng + ?Sized>(&self, values: &[f64], rng: &mut R) -> Vec<f64> {
+        let sigma = self.sigma();
+        values.iter().map(|v| v + gaussian(rng, sigma)).collect()
+    }
+
+    /// Releases a scalar query.
+    pub fn release<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        value + gaussian(rng, self.sigma())
+    }
+
+    /// With probability at least `1 − β`, the per-coordinate error stays
+    /// below `σ·√(2 ln(2/β))` (standard Gaussian tail bound).
+    pub fn per_coordinate_error_bound(&self, beta: f64) -> f64 {
+        self.sigma() * (2.0 * (2.0 / beta).ln()).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(GaussianMechanism::new(0.0, 0.1, 1.0).is_err());
+        assert!(GaussianMechanism::new(1.5, 0.1, 1.0).is_err());
+        assert!(GaussianMechanism::new(0.5, 0.0, 1.0).is_err());
+        assert!(GaussianMechanism::new(0.5, 1.0, 1.0).is_err());
+        assert!(GaussianMechanism::new(0.5, 0.1, 0.0).is_err());
+        assert!(GaussianMechanism::new(0.5, 0.1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn sigma_matches_theorem_formula() {
+        let m = GaussianMechanism::new(0.5, 1e-6, 2.0).unwrap();
+        let expected = 2.0 / 0.5 * (2.0 * (1.25 / 1e-6_f64).ln()).sqrt();
+        assert!((m.sigma() - expected).abs() < 1e-12);
+        assert_eq!(m.epsilon(), 0.5);
+        assert_eq!(m.delta(), 1e-6);
+    }
+
+    #[test]
+    fn sigma_grows_as_delta_shrinks_and_epsilon_shrinks() {
+        let base = GaussianMechanism::new(0.5, 1e-4, 1.0).unwrap();
+        let tighter_delta = GaussianMechanism::new(0.5, 1e-8, 1.0).unwrap();
+        let tighter_eps = GaussianMechanism::new(0.1, 1e-4, 1.0).unwrap();
+        assert!(tighter_delta.sigma() > base.sigma());
+        assert!(tighter_eps.sigma() > base.sigma());
+    }
+
+    #[test]
+    fn release_noise_has_calibrated_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = GaussianMechanism::new(0.9, 1e-3, 1.0).unwrap();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.release(0.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let sigma2 = m.sigma() * m.sigma();
+        assert!(mean.abs() < 0.1, "mean = {mean}");
+        assert!((var - sigma2).abs() / sigma2 < 0.05, "var = {var}, σ² = {sigma2}");
+    }
+
+    #[test]
+    fn per_coordinate_error_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = GaussianMechanism::new(0.9, 1e-3, 1.0).unwrap();
+        let beta = 0.05;
+        let bound = m.per_coordinate_error_bound(beta);
+        let n = 50_000;
+        let violations = (0..n)
+            .filter(|_| m.release(0.0, &mut rng).abs() > bound)
+            .count() as f64
+            / n as f64;
+        assert!(violations < beta, "violations = {violations} >= {beta}");
+    }
+
+    #[test]
+    fn release_vec_adds_independent_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = GaussianMechanism::new(0.5, 1e-4, 1.0).unwrap();
+        let out = m.release_vec(&[0.0; 4], &mut rng);
+        assert_eq!(out.len(), 4);
+        // the probability two independent continuous samples collide is zero
+        assert!(out[0] != out[1] || out[1] != out[2]);
+    }
+}

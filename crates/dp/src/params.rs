@@ -1,0 +1,167 @@
+//! Privacy parameters `(ε, δ)` and budget splitting.
+//!
+//! Definition 1.1 of the paper: a randomized algorithm `M` is
+//! `(ε, δ)`-differentially private if for every pair of neighbouring datasets
+//! `S, S'` and every event `T`,
+//! `Pr[M(S) ∈ T] ≤ e^ε · Pr[M(S') ∈ T] + δ`.
+//!
+//! [`PrivacyParams`] is the value type carried through every algorithm in the
+//! workspace; it validates its ranges once at construction so mechanisms can
+//! assume well-formed parameters.
+
+use crate::error::DpError;
+
+/// A validated `(ε, δ)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyParams {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyParams {
+    /// Creates parameters, requiring `ε > 0` and `0 ≤ δ < 1`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, DpError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(DpError::InvalidPrivacyParams(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        if !(delta.is_finite() && (0.0..1.0).contains(&delta)) {
+            return Err(DpError::InvalidPrivacyParams(format!(
+                "delta must lie in [0, 1), got {delta}"
+            )));
+        }
+        Ok(PrivacyParams { epsilon, delta })
+    }
+
+    /// Pure differential privacy: `δ = 0`.
+    pub fn pure(epsilon: f64) -> Result<Self, DpError> {
+        Self::new(epsilon, 0.0)
+    }
+
+    /// The common benchmark setting `ε = 1`, `δ = 1/n²` for a dataset of
+    /// size `n` (the paper suggests δ negligible in n; `1/n²` is the
+    /// conventional concrete stand-in used throughout our experiments).
+    pub fn conventional(n: usize) -> Result<Self, DpError> {
+        let n = n.max(2) as f64;
+        Self::new(1.0, 1.0 / (n * n))
+    }
+
+    /// ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Whether this is pure (δ = 0) differential privacy.
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+
+    /// Returns parameters scaled by `fraction` (both ε and δ), used to divide
+    /// a budget among sub-mechanisms so that basic composition of the parts
+    /// recovers the whole.
+    pub fn scale(&self, fraction: f64) -> Result<Self, DpError> {
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(DpError::InvalidParameter(format!(
+                "budget fraction must lie in (0, 1], got {fraction}"
+            )));
+        }
+        PrivacyParams::new(self.epsilon * fraction, self.delta * fraction)
+    }
+
+    /// Splits the budget evenly into `k` parts (basic composition of the
+    /// parts recovers the whole, Theorem 2.1).
+    pub fn split_evenly(&self, k: usize) -> Result<Vec<Self>, DpError> {
+        if k == 0 {
+            return Err(DpError::InvalidParameter(
+                "cannot split a budget into zero parts".into(),
+            ));
+        }
+        let part = self.scale(1.0 / k as f64)?;
+        Ok(vec![part; k])
+    }
+
+    /// Splits the budget into parts proportional to `weights`.
+    pub fn split_weighted(&self, weights: &[f64]) -> Result<Vec<Self>, DpError> {
+        if weights.is_empty() {
+            return Err(DpError::InvalidParameter(
+                "cannot split a budget with no weights".into(),
+            ));
+        }
+        if weights.iter().any(|w| !(w.is_finite() && *w > 0.0)) {
+            return Err(DpError::InvalidParameter(
+                "all budget weights must be positive and finite".into(),
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        weights.iter().map(|w| self.scale(w / total)).collect()
+    }
+
+    /// The per-query ε such that `k` adaptive uses compose (basic
+    /// composition) to at most this budget's ε, with δ likewise divided.
+    pub fn per_query(&self, k: usize) -> Result<Self, DpError> {
+        if k == 0 {
+            return Err(DpError::InvalidParameter(
+                "number of queries must be positive".into(),
+            ));
+        }
+        self.scale(1.0 / k as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(PrivacyParams::new(0.0, 0.0).is_err());
+        assert!(PrivacyParams::new(-1.0, 0.0).is_err());
+        assert!(PrivacyParams::new(f64::NAN, 0.0).is_err());
+        assert!(PrivacyParams::new(1.0, -0.1).is_err());
+        assert!(PrivacyParams::new(1.0, 1.0).is_err());
+        assert!(PrivacyParams::new(1.0, f64::INFINITY).is_err());
+        let p = PrivacyParams::new(0.5, 1e-6).unwrap();
+        assert_eq!(p.epsilon(), 0.5);
+        assert_eq!(p.delta(), 1e-6);
+        assert!(!p.is_pure());
+        assert!(PrivacyParams::pure(1.0).unwrap().is_pure());
+    }
+
+    #[test]
+    fn conventional_params() {
+        let p = PrivacyParams::conventional(1000).unwrap();
+        assert_eq!(p.epsilon(), 1.0);
+        assert!((p.delta() - 1e-6).abs() < 1e-15);
+        // tiny n is clamped rather than producing δ ≥ 1
+        assert!(PrivacyParams::conventional(0).is_ok());
+    }
+
+    #[test]
+    fn splitting_preserves_totals() {
+        let p = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let parts = p.split_evenly(4).unwrap();
+        assert_eq!(parts.len(), 4);
+        let eps_sum: f64 = parts.iter().map(|q| q.epsilon()).sum();
+        let delta_sum: f64 = parts.iter().map(|q| q.delta()).sum();
+        assert!((eps_sum - 1.0).abs() < 1e-12);
+        assert!((delta_sum - 1e-6).abs() < 1e-18);
+
+        let weighted = p.split_weighted(&[1.0, 3.0]).unwrap();
+        assert!((weighted[0].epsilon() - 0.25).abs() < 1e-12);
+        assert!((weighted[1].epsilon() - 0.75).abs() < 1e-12);
+
+        assert!(p.split_evenly(0).is_err());
+        assert!(p.split_weighted(&[]).is_err());
+        assert!(p.split_weighted(&[1.0, -1.0]).is_err());
+        assert!(p.scale(0.0).is_err());
+        assert!(p.scale(1.5).is_err());
+        assert!(p.per_query(0).is_err());
+        assert!((p.per_query(10).unwrap().epsilon() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! The sparse-vector technique: algorithm `AboveThreshold` (Theorem 4.8).
+//!
+//! A data curator holding `S` receives sensitivity-1 queries `f_1, f_2, …`
+//! one at a time and answers `⊥` ("below threshold") until the first query
+//! whose value is (noisily) above the threshold, at which point it answers
+//! `⊤` and halts. The entire interaction is `(ε, 0)`-differentially private
+//! regardless of how many `⊥` answers were given, and with probability
+//! `1 − β` every answer is correct up to additive error `(8/ε)·ln(2k/β)`.
+//!
+//! `GoodCenter` uses it (step 5–6) to scan up to `2n·ln(1/β)/β` random box
+//! partitions until one contains a heavy box.
+
+use crate::error::DpError;
+use crate::sampling::laplace;
+use rand::Rng;
+
+/// The answer of `AboveThreshold` to a single query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvtAnswer {
+    /// The query was (noisily) below the threshold; the algorithm continues.
+    Below,
+    /// The query was (noisily) at or above the threshold; the algorithm halts.
+    Above,
+}
+
+/// Stateful `AboveThreshold` runner.
+#[derive(Debug, Clone)]
+pub struct AboveThreshold {
+    epsilon: f64,
+    noisy_threshold: f64,
+    halted: bool,
+    queries_answered: usize,
+}
+
+impl AboveThreshold {
+    /// Instantiates the algorithm with privacy parameter `ε` and threshold
+    /// `threshold`. The threshold perturbation `Lap(2/ε)` is drawn once here.
+    pub fn new<R: Rng + ?Sized>(
+        epsilon: f64,
+        threshold: f64,
+        rng: &mut R,
+    ) -> Result<Self, DpError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(DpError::InvalidPrivacyParams(format!(
+                "epsilon must be positive, got {epsilon}"
+            )));
+        }
+        if !threshold.is_finite() {
+            return Err(DpError::InvalidParameter(
+                "threshold must be finite".into(),
+            ));
+        }
+        Ok(AboveThreshold {
+            epsilon,
+            noisy_threshold: threshold + laplace(rng, 2.0 / epsilon),
+            halted: false,
+            queries_answered: 0,
+        })
+    }
+
+    /// Whether the algorithm has already answered `⊤` (further queries are
+    /// rejected).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of queries answered so far.
+    pub fn queries_answered(&self) -> usize {
+        self.queries_answered
+    }
+
+    /// Answers one sensitivity-1 query whose (exact) value on the curator's
+    /// database is `value`.
+    pub fn query<R: Rng + ?Sized>(
+        &mut self,
+        value: f64,
+        rng: &mut R,
+    ) -> Result<SvtAnswer, DpError> {
+        if self.halted {
+            return Err(DpError::InvalidParameter(
+                "AboveThreshold has already halted; instantiate a new runner".into(),
+            ));
+        }
+        if !value.is_finite() {
+            return Err(DpError::InvalidParameter(
+                "query value must be finite".into(),
+            ));
+        }
+        self.queries_answered += 1;
+        let noisy_value = value + laplace(rng, 4.0 / self.epsilon);
+        if noisy_value >= self.noisy_threshold {
+            self.halted = true;
+            Ok(SvtAnswer::Above)
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    /// The accuracy guarantee of Theorem 4.8: with probability `1 − β`, every
+    /// one of `k` answers errs by less than `(8/ε)·ln(2k/β)`.
+    pub fn error_bound(epsilon: f64, k: usize, beta: f64) -> f64 {
+        8.0 / epsilon * (2.0 * k.max(1) as f64 / beta).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(AboveThreshold::new(0.0, 10.0, &mut rng).is_err());
+        assert!(AboveThreshold::new(1.0, f64::NAN, &mut rng).is_err());
+        assert!(AboveThreshold::new(1.0, 10.0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn halts_on_clearly_above_threshold_queries() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut svt = AboveThreshold::new(1.0, 100.0, &mut rng).unwrap();
+        // Way below threshold: should continue.
+        for _ in 0..20 {
+            assert_eq!(svt.query(0.0, &mut rng).unwrap(), SvtAnswer::Below);
+        }
+        assert!(!svt.halted());
+        // Way above threshold: must halt.
+        assert_eq!(svt.query(500.0, &mut rng).unwrap(), SvtAnswer::Above);
+        assert!(svt.halted());
+        assert_eq!(svt.queries_answered(), 21);
+        // Further queries are rejected.
+        assert!(svt.query(0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_queries() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut svt = AboveThreshold::new(1.0, 10.0, &mut rng).unwrap();
+        assert!(svt.query(f64::INFINITY, &mut rng).is_err());
+    }
+
+    #[test]
+    fn accuracy_guarantee_holds_empirically() {
+        // Issue k queries all at distance `bound` below the threshold; with
+        // probability >= 1 - β none should answer ⊤. Repeat and count.
+        let eps = 1.0;
+        let k = 50;
+        let beta = 0.1;
+        let bound = AboveThreshold::error_bound(eps, k, beta);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 2000;
+        let mut false_tops = 0;
+        for _ in 0..trials {
+            let mut svt = AboveThreshold::new(eps, 100.0, &mut rng).unwrap();
+            for _ in 0..k {
+                if svt.query(100.0 - bound, &mut rng).unwrap() == SvtAnswer::Above {
+                    false_tops += 1;
+                    break;
+                }
+            }
+        }
+        let rate = false_tops as f64 / trials as f64;
+        assert!(rate <= beta, "false ⊤ rate {rate} exceeds β = {beta}");
+    }
+
+    #[test]
+    fn clearly_above_queries_are_reported_above() {
+        let eps = 1.0;
+        let k = 50;
+        let beta = 0.1;
+        let bound = AboveThreshold::error_bound(eps, k, beta);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 2000;
+        let mut missed = 0;
+        for _ in 0..trials {
+            let mut svt = AboveThreshold::new(eps, 100.0, &mut rng).unwrap();
+            if svt.query(100.0 + bound, &mut rng).unwrap() != SvtAnswer::Above {
+                missed += 1;
+            }
+        }
+        let rate = missed as f64 / trials as f64;
+        assert!(rate <= beta, "missed ⊤ rate {rate} exceeds β = {beta}");
+    }
+
+    #[test]
+    fn error_bound_formula_monotonicity() {
+        assert!(AboveThreshold::error_bound(1.0, 10, 0.1) < AboveThreshold::error_bound(1.0, 100, 0.1));
+        assert!(AboveThreshold::error_bound(2.0, 10, 0.1) < AboveThreshold::error_bound(1.0, 10, 0.1));
+        assert!(AboveThreshold::error_bound(1.0, 0, 0.1) > 0.0);
+    }
+}

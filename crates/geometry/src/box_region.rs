@@ -1,0 +1,241 @@
+//! Axis-aligned boxes (hyper-rectangles).
+//!
+//! `GoodCenter` repeatedly works with axis-aligned boxes: the randomly
+//! shifted boxes `B_j` in the Johnson–Lindenstrauss image (steps 3–7), the
+//! per-axis intervals `Î_i` in the rotated basis (step 9), and the bounding
+//! box of the final candidate set whose bounding sphere `C` truncates the
+//! points fed to `NoisyAVG` (step 10).
+
+use crate::ball::Ball;
+use crate::error::GeometryError;
+use crate::point::Point;
+
+/// A closed axis-aligned box `∏_i [lower_i, upper_i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisAlignedBox {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl AxisAlignedBox {
+    /// Creates a box from lower/upper corner coordinates.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Result<Self, GeometryError> {
+        if lower.len() != upper.len() {
+            return Err(GeometryError::DimensionMismatch {
+                expected: lower.len(),
+                actual: upper.len(),
+            });
+        }
+        if lower.is_empty() {
+            return Err(GeometryError::InvalidParameter(
+                "box must have at least one dimension".into(),
+            ));
+        }
+        for (l, u) in lower.iter().zip(upper.iter()) {
+            if !(l.is_finite() && u.is_finite()) {
+                return Err(GeometryError::Numerical(
+                    "box corners must be finite".into(),
+                ));
+            }
+            if l > u {
+                return Err(GeometryError::InvalidParameter(format!(
+                    "box lower corner exceeds upper corner ({l} > {u})"
+                )));
+            }
+        }
+        Ok(AxisAlignedBox { lower, upper })
+    }
+
+    /// The unit cube `[0,1]^d`, which the paper identifies with `X^d`.
+    pub fn unit_cube(dim: usize) -> Self {
+        AxisAlignedBox {
+            lower: vec![0.0; dim],
+            upper: vec![1.0; dim],
+        }
+    }
+
+    /// A cube of side `side` centred at `center`.
+    pub fn cube_around(center: &Point, side: f64) -> Result<Self, GeometryError> {
+        if side < 0.0 || !side.is_finite() {
+            return Err(GeometryError::InvalidParameter(format!(
+                "cube side must be finite and non-negative, got {side}"
+            )));
+        }
+        let half = side / 2.0;
+        Ok(AxisAlignedBox {
+            lower: center.coords().iter().map(|c| c - half).collect(),
+            upper: center.coords().iter().map(|c| c + half).collect(),
+        })
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower corner.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper corner.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Side length along axis `i`.
+    pub fn side(&self, i: usize) -> f64 {
+        self.upper[i] - self.lower[i]
+    }
+
+    /// The center of the box.
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lower
+                .iter()
+                .zip(self.upper.iter())
+                .map(|(l, u)| (l + u) / 2.0)
+                .collect(),
+        )
+    }
+
+    /// Euclidean diameter (length of the main diagonal).
+    pub fn diameter(&self) -> f64 {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(l, u)| (u - l) * (u - l))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Whether the (closed) box contains `p`.
+    pub fn contains(&self, p: &Point) -> bool {
+        debug_assert_eq!(p.dim(), self.dim());
+        p.coords()
+            .iter()
+            .zip(self.lower.iter().zip(self.upper.iter()))
+            .all(|(c, (l, u))| *c >= *l - 1e-12 && *c <= *u + 1e-12)
+    }
+
+    /// The smallest ball containing the box: centred at the box center with
+    /// radius half the diagonal. This is the bounding sphere `C` used in
+    /// step 10 of `GoodCenter` to give a *deterministic* diameter bound.
+    pub fn bounding_ball(&self) -> Ball {
+        Ball::new(self.center(), self.diameter() / 2.0)
+            .expect("box center and diameter are finite by construction")
+    }
+
+    /// Returns the box grown by `margin` on every side (in every axis).
+    pub fn expanded(&self, margin: f64) -> AxisAlignedBox {
+        AxisAlignedBox {
+            lower: self.lower.iter().map(|l| l - margin).collect(),
+            upper: self.upper.iter().map(|u| u + margin).collect(),
+        }
+    }
+
+    /// Intersection of two boxes, or `None` when they are disjoint.
+    pub fn intersection(&self, other: &AxisAlignedBox) -> Option<AxisAlignedBox> {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut lower = Vec::with_capacity(self.dim());
+        let mut upper = Vec::with_capacity(self.dim());
+        for i in 0..self.dim() {
+            let l = self.lower[i].max(other.lower[i]);
+            let u = self.upper[i].min(other.upper[i]);
+            if l > u {
+                return None;
+            }
+            lower.push(l);
+            upper.push(u);
+        }
+        Some(AxisAlignedBox { lower, upper })
+    }
+
+    /// Clamps a point into the box coordinate-wise (the paper's truncation of
+    /// `S'` into the box, §3.2 "Towards a Solution").
+    pub fn clamp_point(&self, p: &Point) -> Point {
+        Point::new(
+            p.coords()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.clamp(self.lower[i], self.upper[i]))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(AxisAlignedBox::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(AxisAlignedBox::new(vec![], vec![]).is_err());
+        assert!(AxisAlignedBox::new(vec![1.0], vec![0.0]).is_err());
+        assert!(AxisAlignedBox::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(AxisAlignedBox::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_ok());
+        assert!(AxisAlignedBox::cube_around(&Point::origin(2), -1.0).is_err());
+    }
+
+    #[test]
+    fn unit_cube_and_cube_around() {
+        let c = AxisAlignedBox::unit_cube(3);
+        assert_eq!(c.dim(), 3);
+        assert!(c.contains(&Point::splat(3, 0.5)));
+        assert!(!c.contains(&Point::splat(3, 1.5)));
+
+        let k = AxisAlignedBox::cube_around(&Point::new(vec![1.0, 1.0]), 2.0).unwrap();
+        assert_eq!(k.lower(), &[0.0, 0.0]);
+        assert_eq!(k.upper(), &[2.0, 2.0]);
+        assert_eq!(k.side(0), 2.0);
+    }
+
+    #[test]
+    fn geometry_quantities() {
+        let b = AxisAlignedBox::new(vec![0.0, 0.0], vec![3.0, 4.0]).unwrap();
+        assert_eq!(b.center().coords(), &[1.5, 2.0]);
+        assert!((b.diameter() - 5.0).abs() < 1e-12);
+        let ball = b.bounding_ball();
+        assert!((ball.radius() - 2.5).abs() < 1e-12);
+        assert!(ball.contains(&Point::new(vec![0.0, 0.0])));
+        assert!(ball.contains(&Point::new(vec![3.0, 4.0])));
+    }
+
+    #[test]
+    fn expansion_intersection_clamping() {
+        let a = AxisAlignedBox::new(vec![0.0, 0.0], vec![2.0, 2.0]).unwrap();
+        let b = AxisAlignedBox::new(vec![1.0, 1.0], vec![3.0, 3.0]).unwrap();
+        let inter = a.intersection(&b).unwrap();
+        assert_eq!(inter.lower(), &[1.0, 1.0]);
+        assert_eq!(inter.upper(), &[2.0, 2.0]);
+
+        let far = AxisAlignedBox::new(vec![5.0, 5.0], vec![6.0, 6.0]).unwrap();
+        assert!(a.intersection(&far).is_none());
+
+        let grown = a.expanded(1.0);
+        assert_eq!(grown.lower(), &[-1.0, -1.0]);
+        assert_eq!(grown.upper(), &[3.0, 3.0]);
+
+        let clamped = a.clamp_point(&Point::new(vec![-5.0, 1.0]));
+        assert_eq!(clamped.coords(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn figure1_scenario_intersection_can_be_empty_of_points() {
+        // Figure 1: two per-axis "heavy" intervals can intersect in a region
+        // containing no input point. The box machinery must allow expressing
+        // that situation (non-empty geometric intersection, zero points).
+        let pts = crate::dataset::Dataset::from_rows(vec![
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+        ])
+        .unwrap();
+        let heavy_x = AxisAlignedBox::new(vec![0.0, 0.0], vec![0.2, 1.0]).unwrap();
+        let heavy_y = AxisAlignedBox::new(vec![0.0, 0.0], vec![1.0, 0.2]).unwrap();
+        let inter = heavy_x.intersection(&heavy_y).unwrap();
+        assert_eq!(pts.count_in_box(&heavy_x), 1);
+        assert_eq!(pts.count_in_box(&heavy_y), 1);
+        assert_eq!(pts.count_in_box(&inter), 0);
+    }
+}

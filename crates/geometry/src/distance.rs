@@ -1,0 +1,209 @@
+//! Pairwise-distance structures.
+//!
+//! `GoodRadius` needs the quantity `B_r(x_i, S)` — the number of input points
+//! within distance `r` of the input point `x_i` — for *many* radii `r`
+//! (every candidate radius the quasi-concave solver probes). Recomputing the
+//! `O(n d)` distances for every probe would make the solver quadratic in the
+//! number of probes; instead we build the full pairwise-distance matrix once
+//! (`O(n² d)`), sort each row (`O(n² log n)`), and then each `B_r(x_i)` query
+//! is a binary search (`O(log n)`).
+//!
+//! The matrix also exposes the sorted multiset of *all* pairwise distances,
+//! which is exactly the set of breakpoints at which the paper's step function
+//! `L(r, S)` can change value. That set is what lets the exponential
+//! mechanism over the (enormous) radius grid run in `poly(n)` time
+//! (Remark 4.4, and item 2 in DESIGN.md §3).
+
+use crate::dataset::Dataset;
+
+/// Pairwise Euclidean distances of a dataset with per-row sorted order.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// `sorted_rows[i]` holds the distances from point `i` to all `n` points
+    /// (including itself, distance 0), sorted ascending.
+    sorted_rows: Vec<Vec<f64>>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix in `O(n² d + n² log n)` time.
+    pub fn build(data: &Dataset) -> Self {
+        let n = data.len();
+        let pts = data.points();
+        let mut sorted_rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row: Vec<f64> = (0..n).map(|j| pts[i].distance(&pts[j])).collect();
+            row.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            sorted_rows.push(row);
+        }
+        DistanceMatrix { n, sorted_rows }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when built from an empty dataset.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The sorted (ascending) distances from point `i` to all points,
+    /// including the zero distance to itself.
+    pub fn sorted_row(&self, i: usize) -> &[f64] {
+        &self.sorted_rows[i]
+    }
+
+    /// `B_r(x_i)`: how many points (including `x_i` itself) lie within
+    /// distance `r` of point `i`. Uses a closed ball, i.e. counts distances
+    /// `≤ r`.
+    pub fn count_within(&self, i: usize, r: f64) -> usize {
+        if r < 0.0 {
+            return 0;
+        }
+        // partition_point returns the number of elements strictly less than or
+        // equal via the predicate d <= r (rows are sorted ascending).
+        self.sorted_rows[i].partition_point(|&d| d <= r * (1.0 + 1e-12) + 1e-15)
+    }
+
+    /// Capped count `B̄_r(x_i) = min(B_r(x_i), cap)` (the paper caps at `t`).
+    pub fn count_within_capped(&self, i: usize, r: f64, cap: usize) -> usize {
+        self.count_within(i, r).min(cap)
+    }
+
+    /// The smallest radius `r` such that `B_r(x_i) ≥ k` (the distance from
+    /// point `i` to its `k`-th nearest point, counting itself as the 1st).
+    /// Returns `None` when `k > n`.
+    pub fn kth_distance(&self, i: usize, k: usize) -> Option<f64> {
+        if k == 0 || k > self.n {
+            return None;
+        }
+        Some(self.sorted_rows[i][k - 1])
+    }
+
+    /// All pairwise distances (each unordered pair once, plus the `n` zeros
+    /// from the diagonal), sorted ascending. These are the breakpoints of
+    /// every `B_r(x_i)` as a function of `r`.
+    pub fn sorted_all_distances(&self) -> Vec<f64> {
+        let mut all = Vec::with_capacity(self.n * (self.n + 1) / 2);
+        for (i, row) in self.sorted_rows.iter().enumerate() {
+            // row is sorted; to avoid double counting, take only distances to
+            // points with index >= i. We do not have index info after sorting,
+            // so instead reconstruct by taking every entry and halving later
+            // would be wrong for ties. Simplest correct approach: push all
+            // entries and rely on the fact that each unordered pair {i,j}
+            // (i != j) appears exactly twice and each diagonal once; callers
+            // only need the breakpoint *values*, so duplicates are fine after
+            // dedup. We dedup below.
+            let _ = i;
+            all.extend_from_slice(row);
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        all.dedup_by(|a, b| (*a - *b).abs() <= f64::EPSILON * 4.0 * a.abs().max(1.0));
+        all
+    }
+
+    /// The paper's smallest-ball-around-an-input-point radius: the minimum
+    /// over `i` of the distance from `x_i` to its `t`-th nearest point. This
+    /// is the radius achieved by the folklore 2-approximation (fact 3 of §3).
+    pub fn two_approx_radius(&self, t: usize) -> Option<(usize, f64)> {
+        if t == 0 || t > self.n {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.n {
+            let r = self.sorted_rows[i][t - 1];
+            if best.map(|(_, br)| r < br).unwrap_or(true) {
+                best = Some((i, r));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn line_dataset() -> Dataset {
+        // Points at 0, 1, 2, 10 on the real line.
+        Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]]).unwrap()
+    }
+
+    #[test]
+    fn counts_within_radius() {
+        let dm = DistanceMatrix::build(&line_dataset());
+        assert_eq!(dm.len(), 4);
+        assert!(!dm.is_empty());
+        assert_eq!(dm.count_within(0, 0.0), 1); // itself
+        assert_eq!(dm.count_within(0, 1.0), 2);
+        assert_eq!(dm.count_within(0, 2.0), 3);
+        assert_eq!(dm.count_within(0, 100.0), 4);
+        assert_eq!(dm.count_within(0, -1.0), 0);
+        assert_eq!(dm.count_within(1, 1.0), 3); // 0,1,2 all within 1 of point 1
+    }
+
+    #[test]
+    fn capped_counts() {
+        let dm = DistanceMatrix::build(&line_dataset());
+        assert_eq!(dm.count_within_capped(1, 1.0, 2), 2);
+        assert_eq!(dm.count_within_capped(1, 1.0, 10), 3);
+    }
+
+    #[test]
+    fn kth_distance_matches_sorted_order() {
+        let dm = DistanceMatrix::build(&line_dataset());
+        assert_eq!(dm.kth_distance(0, 1), Some(0.0));
+        assert_eq!(dm.kth_distance(0, 2), Some(1.0));
+        assert_eq!(dm.kth_distance(0, 4), Some(10.0));
+        assert_eq!(dm.kth_distance(0, 5), None);
+        assert_eq!(dm.kth_distance(0, 0), None);
+    }
+
+    #[test]
+    fn two_approx_radius_picks_tightest_center() {
+        let dm = DistanceMatrix::build(&line_dataset());
+        // smallest ball around an input point containing 3 points: center 1,
+        // radius 1 (covers 0,1,2).
+        let (center, r) = dm.two_approx_radius(3).unwrap();
+        assert_eq!(center, 1);
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!(dm.two_approx_radius(0).is_none());
+        assert!(dm.two_approx_radius(5).is_none());
+    }
+
+    #[test]
+    fn breakpoints_are_deduplicated_and_sorted() {
+        let dm = DistanceMatrix::build(&line_dataset());
+        let bps = dm.sorted_all_distances();
+        assert!(bps.windows(2).all(|w| w[0] < w[1]));
+        // Expected distinct distances: 0,1,2,8,9,10
+        assert_eq!(bps.len(), 6);
+        assert!((bps[0] - 0.0).abs() < 1e-12);
+        assert!((bps[5] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_with_naive_counting_in_2d() {
+        let data = Dataset::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.5],
+            vec![1.0, 0.0],
+            vec![3.0, 3.0],
+            vec![3.0, 3.5],
+        ])
+        .unwrap();
+        let dm = DistanceMatrix::build(&data);
+        for i in 0..data.len() {
+            for r in [0.0, 0.5, 0.70710678, 1.0, 2.0, 5.0] {
+                let naive = data
+                    .iter()
+                    .filter(|p| data.point(i).distance(p) <= r + 1e-12)
+                    .count();
+                assert_eq!(dm.count_within(i, r), naive, "i={i}, r={r}");
+            }
+        }
+    }
+}

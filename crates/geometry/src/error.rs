@@ -1,0 +1,62 @@
+//! Error type shared by the geometry crate.
+
+use std::fmt;
+
+/// Errors produced by geometric constructions and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// Two objects that must live in the same dimension do not.
+    DimensionMismatch {
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension that was actually supplied.
+        actual: usize,
+    },
+    /// A dataset that must be non-empty was empty.
+    EmptyDataset,
+    /// A parameter was outside its valid range (message explains which).
+    InvalidParameter(String),
+    /// A numerical routine failed to converge or produced a non-finite value.
+    Numerical(String),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            GeometryError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            GeometryError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GeometryError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GeometryError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(e.to_string().contains("got 2"));
+        assert!(GeometryError::EmptyDataset.to_string().contains("non-empty"));
+        assert!(GeometryError::InvalidParameter("t must be positive".into())
+            .to_string()
+            .contains("t must be positive"));
+        assert!(GeometryError::Numerical("nan".into()).to_string().contains("nan"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GeometryError::EmptyDataset);
+    }
+}

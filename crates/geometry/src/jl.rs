@@ -1,0 +1,188 @@
+//! The Johnson–Lindenstrauss transform (Lemma 4.10).
+//!
+//! `GoodCenter` projects the input points from `R^d` into `R^k` with
+//! `k = 46·log(2n/β)` using the map `f(x) = (1/√k) A x`, where `A` is a
+//! `k × d` matrix of i.i.d. standard Gaussians. Lemma 4.10 guarantees that,
+//! with probability at least `1 − 2n² exp(−η²k/8)`, all pairwise squared
+//! distances are preserved up to a factor `1 ± η`.
+
+use crate::dataset::Dataset;
+use crate::error::GeometryError;
+use crate::linalg::Matrix;
+use crate::point::Point;
+use rand::Rng;
+
+/// A sampled Johnson–Lindenstrauss projection `R^d → R^k`.
+#[derive(Debug, Clone)]
+pub struct JlTransform {
+    /// The already-scaled projection matrix `(1/√k) A`.
+    matrix: Matrix,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl JlTransform {
+    /// Samples a JL transform from `R^{input_dim}` to `R^{output_dim}`.
+    pub fn sample<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        rng: &mut R,
+    ) -> Result<Self, GeometryError> {
+        if input_dim == 0 || output_dim == 0 {
+            return Err(GeometryError::InvalidParameter(
+                "JL dimensions must be positive".into(),
+            ));
+        }
+        let mut matrix = Matrix::gaussian(output_dim, input_dim, rng);
+        matrix.scale_in_place(1.0 / (output_dim as f64).sqrt());
+        Ok(JlTransform {
+            matrix,
+            input_dim,
+            output_dim,
+        })
+    }
+
+    /// The identity embedding (used when the target dimension is at least the
+    /// source dimension, where projecting would only lose information).
+    pub fn identity(dim: usize) -> Self {
+        let mut matrix = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            matrix.set(i, i, 1.0);
+        }
+        JlTransform {
+            matrix,
+            input_dim: dim,
+            output_dim: dim,
+        }
+    }
+
+    /// The paper's choice of target dimension, `k = ⌈46 ln(2n/β)⌉`, capped at
+    /// the source dimension (projecting up is pointless).
+    pub fn paper_target_dim(n: usize, beta: f64, source_dim: usize) -> usize {
+        let k = (46.0 * (2.0 * n as f64 / beta).ln()).ceil() as usize;
+        k.clamp(1, source_dim.max(1))
+    }
+
+    /// Source dimension `d`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Target dimension `k`.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Projects a single point.
+    pub fn project(&self, p: &Point) -> Result<Point, GeometryError> {
+        Ok(Point::new(self.matrix.matvec(p.coords())?))
+    }
+
+    /// Projects every point of a dataset.
+    pub fn project_dataset(&self, data: &Dataset) -> Result<Dataset, GeometryError> {
+        let mut projected = Vec::with_capacity(data.len());
+        for p in data.iter() {
+            projected.push(self.project(p)?);
+        }
+        Dataset::new(projected)
+    }
+
+    /// The failure-probability bound of Lemma 4.10 for distortion `η` over
+    /// `n` points: `2 n² exp(−η² k / 8)`.
+    pub fn failure_probability(&self, n: usize, eta: f64) -> f64 {
+        2.0 * (n as f64) * (n as f64) * (-eta * eta * self.output_dim as f64 / 8.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dimension_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(JlTransform::sample(0, 4, &mut rng).is_err());
+        assert!(JlTransform::sample(4, 0, &mut rng).is_err());
+        let t = JlTransform::sample(10, 4, &mut rng).unwrap();
+        assert_eq!(t.input_dim(), 10);
+        assert_eq!(t.output_dim(), 4);
+        assert!(t.project(&Point::origin(3)).is_err());
+    }
+
+    #[test]
+    fn identity_transform_is_exact() {
+        let t = JlTransform::identity(3);
+        let p = Point::new(vec![1.0, -2.0, 0.5]);
+        assert_eq!(t.project(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn paper_target_dim_is_capped_by_source() {
+        assert_eq!(JlTransform::paper_target_dim(1000, 0.1, 8), 8);
+        let k = JlTransform::paper_target_dim(1000, 0.1, 4096);
+        assert!(k >= 400 && k <= 500, "k = {k}");
+    }
+
+    #[test]
+    fn distances_preserved_within_constant_factor() {
+        // The paper uses η = 1/2, i.e. distances preserved within ×(1 ± 1/2)
+        // on the squared scale. With k = 256 and 20 points this holds with
+        // overwhelming probability.
+        let mut rng = StdRng::seed_from_u64(99);
+        let d = 512;
+        let k = 256;
+        let n = 20;
+        let data = Dataset::from_rows(
+            (0..n)
+                .map(|_| {
+                    (0..d)
+                        .map(|_| crate::linalg::standard_normal(&mut rng))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let t = JlTransform::sample(d, k, &mut rng).unwrap();
+        let proj = t.project_dataset(&data).unwrap();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let orig = data.point(i).distance_squared(data.point(j));
+                let new = proj.point(i).distance_squared(proj.point(j));
+                let ratio = new / orig;
+                assert!(
+                    ratio > 0.5 && ratio < 1.5,
+                    "pair ({i},{j}) distorted by {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failure_probability_decreases_with_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let small = JlTransform::sample(100, 8, &mut rng).unwrap();
+        let large = JlTransform::sample(100, 128, &mut rng).unwrap();
+        assert!(large.failure_probability(50, 0.5) < small.failure_probability(50, 0.5));
+    }
+
+    #[test]
+    fn expected_squared_norm_is_preserved() {
+        // E‖f(x)‖² = ‖x‖², check empirically over many fresh transforms.
+        let mut rng = StdRng::seed_from_u64(123);
+        let x = Point::splat(64, 1.0);
+        let mut acc = 0.0;
+        let trials = 300;
+        for _ in 0..trials {
+            let t = JlTransform::sample(64, 16, &mut rng).unwrap();
+            acc += t.project(&x).unwrap().norm_squared();
+        }
+        let mean = acc / trials as f64;
+        let expected = x.norm_squared();
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+}

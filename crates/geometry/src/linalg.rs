@@ -1,0 +1,234 @@
+//! Minimal dense linear algebra.
+//!
+//! The only linear algebra the paper needs is (a) multiplying a `k × d`
+//! Gaussian matrix by vectors (the JL transform of Lemma 4.10) and (b)
+//! orthonormalizing a set of random Gaussian vectors to obtain a random
+//! orthonormal basis (Lemma 4.9). Rather than pulling in a tensor crate for
+//! two dense kernels, this module provides a small row-major [`Matrix`] type
+//! with exactly those operations, plus the Gaussian sampler they need.
+//! (The DP crate has its own samplers; this one exists so the geometry crate
+//! stays dependency-free apart from `rand`.)
+
+use crate::error::GeometryError;
+use rand::Rng;
+
+/// Draws a standard normal via the Marsaglia polar method.
+///
+/// Exposed because the JL transform and random-rotation constructions both
+/// need i.i.d. `N(0,1)` entries and `rand` (without `rand_distr`) does not
+/// ship a normal sampler.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, GeometryError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(GeometryError::InvalidParameter(
+                "matrix must have at least one row and one column".into(),
+            ));
+        }
+        let cols = rows[0].len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != cols) {
+            return Err(GeometryError::DimensionMismatch {
+                expected: cols,
+                actual: bad.len(),
+            });
+        }
+        let nrows = rows.len();
+        let mut data = Vec::with_capacity(nrows * cols);
+        for r in rows {
+            data.extend(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols,
+            data,
+        })
+    }
+
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix with i.i.d. standard normal entries.
+    pub fn gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| standard_normal(rng)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, GeometryError> {
+        if x.len() != self.cols {
+            return Err(GeometryError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// Scales every entry in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Orthonormalizes the rows via modified Gram–Schmidt, returning the
+    /// number of rows successfully orthonormalized (rows that are numerically
+    /// dependent on earlier ones are dropped to zero and not counted).
+    pub fn gram_schmidt_rows(&mut self) -> usize {
+        let mut kept = 0usize;
+        for i in 0..self.rows {
+            // subtract projections onto previously orthonormalized rows
+            for j in 0..i {
+                let dot: f64 = (0..self.cols)
+                    .map(|c| self.get(i, c) * self.get(j, c))
+                    .sum();
+                for c in 0..self.cols {
+                    let v = self.get(i, c) - dot * self.get(j, c);
+                    self.set(i, c, v);
+                }
+            }
+            let norm: f64 = self.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 1e-10 {
+                for c in 0..self.cols {
+                    let v = self.get(i, c) / norm;
+                    self.set(i, c, v);
+                }
+                kept += 1;
+            } else {
+                for c in 0..self.cols {
+                    self.set(i, c, 0.0);
+                }
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert!(Matrix::from_rows(vec![]).is_err());
+        assert!(Matrix::from_rows(vec![vec![]]).is_err());
+        assert!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn matvec_works_and_checks_dims() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let y = m.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn scaling() {
+        let mut m = Matrix::from_rows(vec![vec![1.0, -2.0]]).unwrap();
+        m.scale_in_place(2.0);
+        assert_eq!(m.row(0), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_rows() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = Matrix::gaussian(5, 5, &mut rng);
+        let kept = m.gram_schmidt_rows();
+        assert_eq!(kept, 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                let dot: f64 = (0..5).map(|c| m.get(i, c) * m.get(j, c)).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-9, "i={i} j={j} dot={dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_drops_dependent_rows() {
+        let mut m =
+            Matrix::from_rows(vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let kept = m.gram_schmidt_rows();
+        assert_eq!(kept, 2);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the geometric substrate.
+
+use privcluster_geometry::{
+    smallest_ball_two_approx, welzl_meb, AxisAlignedBox, Ball, BallCounter, BoxPartition, Dataset,
+    DistanceMatrix, JlTransform, OrthonormalBasis, Point,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(max_n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, dim..=dim), 2..max_n)
+        .prop_map(|rows| Dataset::from_rows(rows).expect("uniform dimension"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The distance matrix counts agree with a naive scan at arbitrary radii.
+    #[test]
+    fn distance_matrix_counts_match_naive(data in dataset(18, 3), r in 0.0f64..2.0) {
+        let dm = DistanceMatrix::build(&data);
+        for i in 0..data.len() {
+            let naive = data
+                .iter()
+                .filter(|p| data.point(i).distance(p) <= r + 1e-12)
+                .count();
+            prop_assert_eq!(dm.count_within(i, r), naive);
+        }
+    }
+
+    /// The L profile agrees with direct evaluation at random probes.
+    #[test]
+    fn l_profile_matches_direct(data in dataset(14, 2), cap_sel in 1usize..8, probe in 0.0f64..2.0) {
+        let cap = 1 + cap_sel % data.len();
+        let counter = BallCounter::new(&data, cap);
+        let profile = counter.l_profile();
+        prop_assert!((profile.value_at(probe) - counter.l_value(probe)).abs() < 1e-9);
+    }
+
+    /// Welzl's ball always covers every point and is no larger than the
+    /// bounding-box ball.
+    #[test]
+    fn welzl_ball_covers_and_is_reasonable(data in dataset(20, 3), seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ball = welzl_meb(&data, &mut rng).unwrap();
+        for p in data.iter() {
+            prop_assert!(ball.contains(p));
+        }
+        let bb_ball = data.bounding_box().unwrap().bounding_ball();
+        prop_assert!(ball.radius() <= bb_ball.radius() + 1e-9);
+    }
+
+    /// The 2-approximation ball is centred at an input point and covers t points.
+    #[test]
+    fn two_approx_centred_at_an_input_point(data in dataset(16, 2), t_sel in 1usize..8) {
+        let t = 1 + t_sel % data.len();
+        let ball = smallest_ball_two_approx(&data, t).unwrap();
+        prop_assert!(data.count_in_ball(&ball) >= t);
+        prop_assert!(data.iter().any(|p| p.distance(ball.center()) < 1e-12));
+    }
+
+    /// A random orthonormal basis preserves norms and inner products.
+    #[test]
+    fn rotations_preserve_geometry(
+        dim in 2usize..12,
+        coords_a in prop::collection::vec(-1.0f64..1.0, 12),
+        coords_b in prop::collection::vec(-1.0f64..1.0, 12),
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis = OrthonormalBasis::random(dim, &mut rng).unwrap();
+        let a = Point::new(coords_a[..dim].to_vec());
+        let b = Point::new(coords_b[..dim].to_vec());
+        let ra = Point::new(basis.coordinates(&a));
+        let rb = Point::new(basis.coordinates(&b));
+        prop_assert!((ra.norm() - a.norm()).abs() < 1e-9);
+        prop_assert!((ra.dot(&rb) - a.dot(&b)).abs() < 1e-9);
+    }
+
+    /// Every point lands in exactly the box the partition reports for it.
+    #[test]
+    fn box_partition_cells_contain_their_points(
+        data in dataset(15, 2),
+        width in 0.01f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partition = BoxPartition::random_cubes(2, width, &mut rng).unwrap();
+        for p in data.iter() {
+            let cell = partition.cell_of(p);
+            let bx = partition.cell_box(&cell).unwrap();
+            prop_assert!(bx.contains(p));
+        }
+        // histogram counts sum to n
+        let total: usize = partition.histogram(&data).values().sum();
+        prop_assert_eq!(total, data.len());
+    }
+
+    /// JL projection of the zero vector is zero and projection is linear.
+    #[test]
+    fn jl_projection_is_linear(
+        dim in 4usize..32,
+        k in 2usize..4,
+        coords in prop::collection::vec(-1.0f64..1.0, 32),
+        scale in -3.0f64..3.0,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jl = JlTransform::sample(dim, k, &mut rng).unwrap();
+        let x = Point::new(coords[..dim].to_vec());
+        let zero = jl.project(&Point::origin(dim)).unwrap();
+        prop_assert!(zero.norm() < 1e-12);
+        let px = jl.project(&x).unwrap();
+        let psx = jl.project(&x.scale(scale)).unwrap();
+        prop_assert!(psx.sub(&px.scale(scale)).norm() < 1e-9);
+    }
+
+    /// Box intersection is commutative and contained in both boxes.
+    #[test]
+    fn box_intersection_properties(
+        lo_a in prop::collection::vec(0.0f64..0.5, 2..=2),
+        ext_a in prop::collection::vec(0.05f64..0.6, 2..=2),
+        lo_b in prop::collection::vec(0.0f64..0.5, 2..=2),
+        ext_b in prop::collection::vec(0.05f64..0.6, 2..=2),
+    ) {
+        let a = AxisAlignedBox::new(
+            lo_a.clone(),
+            lo_a.iter().zip(&ext_a).map(|(l, e)| l + e).collect(),
+        )
+        .unwrap();
+        let b = AxisAlignedBox::new(
+            lo_b.clone(),
+            lo_b.iter().zip(&ext_b).map(|(l, e)| l + e).collect(),
+        )
+        .unwrap();
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(x), Some(y)) = (ab, ba) {
+            prop_assert_eq!(&x, &y);
+            prop_assert!(a.contains(&x.center()));
+            prop_assert!(b.contains(&x.center()));
+        }
+    }
+
+    /// Scaling a ball preserves containment of previously contained points.
+    #[test]
+    fn ball_scaling_is_monotone(
+        center in prop::collection::vec(0.0f64..1.0, 2..=2),
+        radius in 0.01f64..1.0,
+        probe in prop::collection::vec(0.0f64..1.0, 2..=2),
+        factor in 1.0f64..5.0,
+    ) {
+        let ball = Ball::new(Point::new(center), radius).unwrap();
+        let p = Point::new(probe);
+        if ball.contains(&p) {
+            prop_assert!(ball.scaled(factor).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Algorithm 3: `IntPoint` — reducing the interior-point problem to the
+//! 1-cluster problem (the constructive half of Theorem 5.3).
+//!
+//! Given a private 1-cluster solver with radius-approximation factor `w`, the
+//! reduction (1) runs it on the middle `n` entries of the sorted input to get
+//! an interval `I` of length `2r` containing at least one of those entries,
+//! (2) splits `I` into sub-intervals of length `r/w` whose endpoints `J`
+//! must contain an interior point (because no sub-interval can contain all
+//! `t` middle entries — the 1-cluster guarantee bounds how small an interval
+//! with `t` points can be), and (3) privately picks a high-quality point of
+//! `J` with a quasi-concave solve on the depth function
+//! `q(S, a) = min(#{x ≤ a}, #{x ≥ a})`.
+
+use crate::interior_point::InteriorPointInstance;
+use privcluster_core::{one_cluster, ClusterError, OneClusterParams};
+use privcluster_dp::quasiconcave::{solve_quasiconcave, QcSolverConfig, SliceOracle};
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::{Dataset, GridDomain};
+use rand::Rng;
+
+/// The result of the reduction.
+#[derive(Debug, Clone)]
+pub struct IntPointOutcome {
+    /// The released (hopefully interior) point.
+    pub value: f64,
+    /// The interval `I` produced by the 1-cluster sub-call, as (center, radius).
+    pub cluster_interval: (f64, f64),
+    /// Size of the candidate edge-point set `J`.
+    pub candidates: usize,
+}
+
+/// Runs Algorithm 3 on a (1-dimensional) instance of size `m`, using the
+/// crate's own 1-cluster solver as the black box `A` with parameters
+/// `(X, inner_n, t)` and radius factor `w`. The total privacy cost is
+/// `2×` the budget passed to each stage (Theorem 5.3's `(2ε, 2δ)`), which is
+/// how `privacy` is split here: each half goes to one stage.
+pub fn int_point<R: Rng + ?Sized>(
+    instance: &InteriorPointInstance,
+    domain: &GridDomain,
+    inner_n: usize,
+    t: usize,
+    w: f64,
+    privacy: PrivacyParams,
+    beta: f64,
+    rng: &mut R,
+) -> Result<IntPointOutcome, ClusterError> {
+    let m = instance.data.len();
+    if domain.dim() != 1 {
+        return Err(ClusterError::InvalidParameter(
+            "IntPoint operates over a 1-dimensional domain".into(),
+        ));
+    }
+    if inner_n == 0 || inner_n > m {
+        return Err(ClusterError::InvalidParameter(format!(
+            "inner database size n = {inner_n} must satisfy 1 <= n <= m = {m}"
+        )));
+    }
+    if !(w.is_finite() && w >= 1.0) {
+        return Err(ClusterError::InvalidParameter(format!(
+            "approximation factor w must be at least 1, got {w}"
+        )));
+    }
+    let half = privacy.scale(0.5)?;
+
+    // Step 1: the middle n entries of the sorted input.
+    let mut values: Vec<f64> = instance.data.iter().map(|p| p[0]).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let start = (m - inner_n) / 2;
+    let middle = Dataset::from_rows(values[start..start + inner_n].iter().map(|v| vec![*v]).collect())?;
+
+    // Step 2: run the 1-cluster solver on the middle entries.
+    let params = OneClusterParams::new(domain.clone(), t.min(inner_n), half, beta / 2.0)?;
+    let cluster = one_cluster(&middle, &params, rng)?;
+    let c = cluster.ball.center()[0];
+    let r = cluster.ball.radius();
+    if r == 0.0 {
+        return Ok(IntPointOutcome {
+            value: c,
+            cluster_interval: (c, 0.0),
+            candidates: 1,
+        });
+    }
+
+    // Step 3: the edge points of the length-(r/w) partition of I = [c-r, c+r].
+    let step = r / w;
+    let mut candidates: Vec<f64> = Vec::new();
+    let mut x = c - r;
+    while x <= c + r + 1e-12 {
+        candidates.push(x.clamp(domain.min(), domain.max()));
+        x += step;
+    }
+    if candidates.is_empty() {
+        candidates.push(c);
+    }
+
+    // Step 4: private quasi-concave choice over J with the depth quality
+    // q(S, a) = min(#{x_i <= a}, #{x_i >= a}) evaluated on the *full* input.
+    let qualities: Vec<f64> = candidates
+        .iter()
+        .map(|&a| {
+            let below = values.iter().filter(|&&v| v <= a).count() as f64;
+            let above = values.iter().filter(|&&v| v >= a).count() as f64;
+            below.min(above)
+        })
+        .collect();
+    let oracle = SliceOracle::new(qualities);
+    let qc = QcSolverConfig::new(half.epsilon(), half.delta(), 0.5, beta / 2.0)?;
+    let idx = solve_quasiconcave(&oracle, &qc, rng)? as usize;
+
+    Ok(IntPointOutcome {
+        value: candidates[idx],
+        cluster_interval: (c, r),
+        candidates: candidates.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privcluster_geometry::linalg::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_instance(m: usize, seed: u64) -> InteriorPointInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = Dataset::from_rows(
+            (0..m)
+                .map(|_| vec![(0.5 + 0.1 * standard_normal(&mut rng)).clamp(0.0, 1.0)])
+                .collect(),
+        )
+        .unwrap();
+        InteriorPointInstance::new(data)
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = gaussian_instance(200, 3);
+        let domain = GridDomain::unit_cube(1, 1 << 12).unwrap();
+        let p = PrivacyParams::new(2.0, 1e-5).unwrap();
+        assert!(int_point(&inst, &domain, 0, 10, 4.0, p, 0.1, &mut rng).is_err());
+        assert!(int_point(&inst, &domain, 500, 10, 4.0, p, 0.1, &mut rng).is_err());
+        assert!(int_point(&inst, &domain, 100, 10, 0.5, p, 0.1, &mut rng).is_err());
+        let d2 = GridDomain::unit_cube(2, 1 << 8).unwrap();
+        assert!(int_point(&inst, &d2, 100, 10, 4.0, p, 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn reduction_finds_interior_points_of_concentrated_instances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let domain = GridDomain::unit_cube(1, 1 << 14).unwrap();
+        let privacy = PrivacyParams::new(4.0, 1e-4).unwrap();
+        let mut successes = 0;
+        let trials = 5;
+        for trial in 0..trials {
+            let inst = gaussian_instance(6_000, 100 + trial);
+            let out = int_point(
+                &inst,
+                &domain,
+                4_000,
+                2_000,
+                8.0,
+                privacy,
+                0.1,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(out.candidates >= 1);
+            if inst.solved_by(out.value) {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= 4,
+            "interior point found in only {successes}/{trials} trials"
+        );
+    }
+
+    #[test]
+    fn two_camps_instance_is_solved_between_the_camps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain = GridDomain::unit_cube(1, 1 << 14).unwrap();
+        let privacy = PrivacyParams::new(4.0, 1e-4).unwrap();
+        let inst = InteriorPointInstance::two_camps(6_000, 0.2, 0.8);
+        let out = int_point(&inst, &domain, 4_000, 1_800, 8.0, privacy, 0.1, &mut rng).unwrap();
+        assert!(
+            inst.solved_by(out.value),
+            "released {} is not interior to [0.2, 0.8]",
+            out.value
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The arithmetic of Corollary 5.4.
+//!
+//! Any `(ε, δ)`-private 1-cluster solver with approximation factor
+//! `w ≤ tower(log(n^{1/5}/40))/4` must have sample complexity
+//! `n ≥ Ω(log*|X|)`. These helpers evaluate both sides so experiment E8 can
+//! tabulate, for a range of domain sizes, how large `n` must be and how
+//! astronomically large `w` would have to become before the bound stops
+//! applying.
+
+use privcluster_dp::util::{log_star, tower};
+
+/// The largest approximation factor `w` for which Corollary 5.4 applies at
+/// sample size `n`: `tower(log₂(n^{1/5}/40))/4` (saturating at `f64::MAX`).
+pub fn max_tolerable_w(n: usize) -> f64 {
+    let arg = (n as f64).powf(0.2) / 40.0;
+    if arg <= 1.0 {
+        return 0.25; // tower(j) with j ≤ 0 is 1
+    }
+    let j = arg.log2().floor().max(0.0) as u32;
+    let t = tower(j);
+    if t == f64::MAX {
+        f64::MAX
+    } else {
+        t / 4.0
+    }
+}
+
+/// The sample-complexity lower bound `n ≥ Ω(log*|X|)` of Corollary 5.4, with
+/// unit constant: simply `log*|X|`.
+pub fn corollary_5_4_sample_bound(domain_size: u64) -> u32 {
+    log_star(domain_size as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_bound_grows_extremely_slowly() {
+        assert_eq!(corollary_5_4_sample_bound(2), 1);
+        assert_eq!(corollary_5_4_sample_bound(16), 3);
+        assert_eq!(corollary_5_4_sample_bound(1 << 16), 4);
+        assert!(corollary_5_4_sample_bound(u64::MAX) <= 5);
+    }
+
+    #[test]
+    fn tolerable_w_explodes_with_n() {
+        // Small n: the bound applies only to modest w.
+        assert!(max_tolerable_w(100) < 10.0);
+        // Large n: w can be an exponential tower before the bound fails.
+        assert!(max_tolerable_w(10_000_000_000_000) >= 4.0);
+        assert!(max_tolerable_w(usize::MAX) > 1e30);
+        // Monotone non-decreasing in n.
+        let mut prev = 0.0;
+        for n in [10usize, 1_000, 100_000, 10_000_000, 1_000_000_000] {
+            let w = max_tolerable_w(n);
+            assert!(w >= prev);
+            prev = w;
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal ASCII line plots for figure-shaped experiment output.
+
+/// Renders `(x, y)` series as a fixed-size ASCII plot (one character per
+/// series, `*`, `o`, `+`, `x`, … in order). Intended for quick visual
+/// inspection of experiment trends in a terminal; the machine-readable data
+/// lives in the JSON records.
+pub fn line_plot(title: &str, series: &[(&str, Vec<(f64, f64)>)]) -> String {
+    const WIDTH: usize = 64;
+    const HEIGHT: usize = 18;
+    const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut xmin, mut xmax, mut ymin, mut ymax) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < 1e-300 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-300 {
+        ymax = ymin + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in s {
+            let col = (((x - xmin) / (xmax - xmin)) * (WIDTH - 1) as f64).round() as usize;
+            let row = (((y - ymin) / (ymax - ymin)) * (HEIGHT - 1) as f64).round() as usize;
+            grid[HEIGHT - 1 - row][col.min(WIDTH - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("y ∈ [{ymin:.3}, {ymax:.3}]\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(WIDTH));
+    out.push('\n');
+    out.push_str(&format!("x ∈ [{xmin:.3}, {xmax:.3}]\n"));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_series_with_legends() {
+        let plot = line_plot(
+            "demo",
+            &[
+                ("linear", (0..10).map(|i| (i as f64, i as f64)).collect()),
+                ("flat", (0..10).map(|i| (i as f64, 2.0)).collect()),
+            ],
+        );
+        assert!(plot.contains("demo"));
+        assert!(plot.contains("* linear"));
+        assert!(plot.contains("o flat"));
+        assert!(plot.contains('*'));
+        assert!(plot.lines().count() > 20);
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate_input() {
+        assert!(line_plot("empty", &[]).contains("no data"));
+        let constant = line_plot("const", &[("c", vec![(1.0, 1.0), (1.0, 1.0)])]);
+        assert!(constant.contains("const"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text tables (markdown and CSV renderings).
+
+/// A simple rectangular table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells, longer ones
+    /// are truncated to the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header first, commas in cells replaced by
+    /// semicolons).
+    pub fn to_csv(&self) -> String {
+        let sanitize = |s: &str| s.replace(',', ";");
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| sanitize(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| sanitize(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1000.0 || a < 0.001 {
+        format!("{x:.2e}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_rendering() {
+        let mut t = Table::new("Demo", &["method", "loss", "time"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["ours".into(), "1.5".into(), "3ms".into()]);
+        t.push_row(vec!["baseline".into(), "2,5".into()]); // short + comma
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.title(), "Demo");
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| method | loss | time |"));
+        assert!(md.contains("| ours | 1.5 | 3ms |"));
+        assert!(md.contains("| baseline | 2,5 |  |"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("method,loss,time\n"));
+        assert!(csv.contains("baseline,2;5,"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(3.14159), "3.142");
+        assert_eq!(fmt_num(42.42), "42.4");
+        assert_eq!(fmt_num(123456.0), "1.23e5");
+        assert_eq!(fmt_num(0.00001), "1.00e-5");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the full pipeline, the baselines, the
+//! sample-and-aggregate framework and the lower-bound reduction exercised
+//! through the public facade crate only.
+
+use privcluster::baselines::{solver::evaluate, OneClusterSolver, PrivClusterSolver};
+use privcluster::lowerbound::{int_point, InteriorPointInstance};
+use privcluster::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn privacy() -> PrivacyParams {
+    PrivacyParams::new(2.0, 1e-5).unwrap()
+}
+
+#[test]
+fn one_cluster_finds_minority_clusters_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+    let n = 4_000;
+    let t = 1_200; // 30% of the data — far below a majority
+    let instance = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
+    let params = OneClusterParams::new(domain, t, privacy(), 0.1).unwrap();
+    let out = one_cluster(&instance.data, &params, &mut rng).unwrap();
+    assert!(instance.captured(&out.ball) as f64 >= 0.8 * t as f64);
+    assert!(out.ball.radius() < 1.0);
+    out.diagnostics.ledger().verify_within(privacy()).unwrap();
+}
+
+#[test]
+fn deterministic_under_a_fixed_seed() {
+    let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
+    let mut gen_rng = StdRng::seed_from_u64(5);
+    let instance = planted_ball_cluster(&domain, 1_500, 800, 0.02, &mut gen_rng);
+    let params = OneClusterParams::new(domain, 800, privacy(), 0.1).unwrap();
+
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        one_cluster(&instance.data, &params, &mut rng).unwrap()
+    };
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(a.ball.center().coords(), b.ball.center().coords());
+    assert_eq!(a.ball.radius(), b.ball.radius());
+    // And a different seed gives (almost surely) a different center.
+    let c = run(78);
+    assert_ne!(a.ball.center().coords(), c.ball.center().coords());
+}
+
+#[test]
+fn outlier_screening_pipeline_improves_a_downstream_mean() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+    let instance = inliers_with_outliers(&domain, 2_700, 300, 0.02, &mut rng);
+    let t = (0.85 * instance.data.len() as f64) as usize;
+    let params = OneClusterParams::new(domain, t, privacy(), 0.1).unwrap();
+    let cluster = one_cluster(&instance.data, &params, &mut rng).unwrap();
+    let screen = OutlierScreen::from_outcome(&cluster);
+    // The screen keeps the vast majority of inliers and rejects most of the
+    // far outliers.
+    let (inliers, outliers) = screen.partition(&instance.data);
+    assert!(inliers.len() >= 2_400);
+    // The practical-preset ball is a loose multiple of the cluster radius, so
+    // only the farthest outliers are guaranteed to fall outside it.
+    assert!(!outliers.is_empty());
+    let mean = screened_noisy_mean(&instance.data, &screen, privacy(), &mut rng).unwrap();
+    let truth = instance
+        .data
+        .select(&(0..instance.inlier_count).collect::<Vec<_>>())
+        .mean()
+        .unwrap();
+    assert!(mean.average.distance(&truth) < 0.1);
+}
+
+#[test]
+fn k_cluster_heuristic_covers_a_mixture_through_the_facade() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+    let mixture = gaussian_mixture(&domain, 3, 1_200, 0.004, 0, &mut rng);
+    let params =
+        OneClusterParams::new(domain, 900, PrivacyParams::new(6.0, 1e-4).unwrap(), 0.1).unwrap();
+    let out = k_cluster(&mixture.data, 3, &params, &mut rng).unwrap();
+    assert!(out.coverage(&mixture.data) >= 0.6);
+}
+
+#[test]
+fn sample_and_aggregate_recovers_a_stable_statistic() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
+    let data = Dataset::from_rows(
+        (0..60_000)
+            .map(|i| {
+                let wiggle = ((i * 37) % 101) as f64 / 101.0 - 0.5;
+                vec![
+                    (0.31 + 0.01 * wiggle).clamp(0.0, 1.0),
+                    (0.72 + 0.01 * wiggle).clamp(0.0, 1.0),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    let config = SaConfig {
+        block_size: 12,
+        alpha: 0.8,
+        output_domain: domain,
+        privacy: privacy(),
+        beta: 0.1,
+    };
+    let out = sample_and_aggregate(&data, &MeanAnalysis, &config, &mut rng).unwrap();
+    assert!(out.point.distance(&Point::new(vec![0.31, 0.72])) < 0.1);
+}
+
+#[test]
+fn the_table1_solver_interface_is_usable_downstream() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
+    let instance = planted_ball_cluster(&domain, 2_000, 1_000, 0.02, &mut rng);
+    let solver = PrivClusterSolver::default();
+    let out = solver
+        .solve(&instance.data, &domain, 1_000, privacy(), 0.1, 99)
+        .unwrap();
+    let eval = evaluate(&instance.data, 1_000, instance.planted_ball.radius(), &out.ball);
+    assert!(eval.captured >= 800);
+}
+
+#[test]
+fn intpoint_reduction_solves_the_interior_point_problem() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let domain = GridDomain::unit_cube(1, 1 << 14).unwrap();
+    let instance = InteriorPointInstance::two_camps(6_000, 0.25, 0.75);
+    let out = int_point(
+        &instance,
+        &domain,
+        4_000,
+        1_800,
+        8.0,
+        PrivacyParams::new(4.0, 1e-4).unwrap(),
+        0.1,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(instance.solved_by(out.value));
+}
