@@ -168,14 +168,22 @@ mod tests {
         let b = block();
         let trimmed = TrimmedMeanAnalysis { trim_fraction: 0.2 }.evaluate(&b);
         // Trimming one value from each tail removes the 100.0 outlier.
-        assert!(trimmed[0] < 3.1, "trimmed mean {} still polluted", trimmed[0]);
+        assert!(
+            trimmed[0] < 3.1,
+            "trimmed mean {} still polluted",
+            trimmed[0]
+        );
         assert_eq!(TrimmedMeanAnalysis::default().output_dim(3), 3);
     }
 
     #[test]
     fn ols_recovers_a_perfect_line() {
-        let line = Dataset::from_rows((0..10).map(|i| vec![i as f64, 3.0 * i as f64 + 1.0]).collect())
-            .unwrap();
+        let line = Dataset::from_rows(
+            (0..10)
+                .map(|i| vec![i as f64, 3.0 * i as f64 + 1.0])
+                .collect(),
+        )
+        .unwrap();
         let fit = OlsSlopeAnalysis.evaluate(&line);
         assert!((fit[0] - 3.0).abs() < 1e-9);
         assert!((fit[1] - 1.0).abs() < 1e-9);

@@ -110,10 +110,12 @@ mod tests {
         let sa = private_mean_via_sa(&d, &domain, 12, 0.8, privacy, 0.1, &mut rng).unwrap();
         let sa_err = sa.point.distance(&truth);
 
-        // GUPT-style averaging with tiny blocks suffers domain-scaled noise
-        // divided by the block count; with few blocks it is clearly worse.
-        let gupt =
-            gupt_style_average(&d, &MeanAnalysis, &domain, 6_000, privacy, &mut rng).unwrap();
+        // GUPT-style averaging suffers noise scaled to the whole output
+        // domain divided by the block count, so even with 100 blocks it is
+        // clearly worse. (Fewer blocks — e.g. block_size 6_000, k = 10 —
+        // would make NoisyAVG's ⊥-threshold (2/ε)·ln(2/δ) ≈ 12 exceed the
+        // block count and the aggregator would decline deterministically.)
+        let gupt = gupt_style_average(&d, &MeanAnalysis, &domain, 600, privacy, &mut rng).unwrap();
         let gupt_err = gupt.distance(&truth);
 
         assert!(sa_err < 0.1, "SA error {sa_err}");

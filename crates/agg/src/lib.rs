@@ -24,7 +24,9 @@ pub mod applications;
 pub mod sa;
 pub mod stability;
 
-pub use analyses::{BlockAnalysis, MeanAnalysis, MedianAnalysis, OlsSlopeAnalysis, TrimmedMeanAnalysis};
+pub use analyses::{
+    BlockAnalysis, MeanAnalysis, MedianAnalysis, OlsSlopeAnalysis, TrimmedMeanAnalysis,
+};
 pub use applications::{gupt_style_average, private_mean_via_sa};
 pub use sa::{sample_and_aggregate, SaConfig, SaOutcome};
 pub use stability::{empirical_stability, StablePointEstimate};

@@ -92,22 +92,19 @@ where
             )));
         }
         // Snap into the declared output domain (the aggregator works over X^d).
-        outputs.push(config.output_domain.snap(&y.clamp_coords(
-            config.output_domain.min(),
-            config.output_domain.max(),
-        )));
+        outputs.push(
+            config
+                .output_domain
+                .snap(&y.clamp_coords(config.output_domain.min(), config.output_domain.max())),
+        );
     }
     let y_set = Dataset::new(outputs)?;
 
     // Step 3: aggregate with the 1-cluster solver, t = αk/2.
     let t = ((config.alpha * k as f64) / 2.0).floor().max(1.0) as usize;
     let t = t.min(k);
-    let params = OneClusterParams::new(
-        config.output_domain.clone(),
-        t,
-        config.privacy,
-        config.beta,
-    )?;
+    let params =
+        OneClusterParams::new(config.output_domain.clone(), t, config.privacy, config.beta)?;
     let out = one_cluster(&y_set, &params, rng)?;
     Ok(SaOutcome {
         point: out.ball.center().clone(),

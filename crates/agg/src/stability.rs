@@ -36,7 +36,9 @@ pub fn empirical_stability<A: BlockAnalysis, R: Rng + ?Sized>(
     let reference = analysis.evaluate(data);
     let mut hits = 0usize;
     for _ in 0..trials {
-        let indices: Vec<usize> = (0..block_size).map(|_| rng.gen_range(0..data.len())).collect();
+        let indices: Vec<usize> = (0..block_size)
+            .map(|_| rng.gen_range(0..data.len()))
+            .collect();
         let block = data.select(&indices);
         if analysis.evaluate(&block).distance(&reference) <= radius {
             hits += 1;

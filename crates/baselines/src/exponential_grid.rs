@@ -102,11 +102,7 @@ impl ExponentialGridSolver {
             let r = domain.radius_from_index(mid);
             let best = centers
                 .iter()
-                .map(|c| {
-                    data.iter()
-                        .filter(|p| c.distance(p) <= r + 1e-12)
-                        .count()
-                })
+                .map(|c| data.iter().filter(|p| c.distance(p) <= r + 1e-12).count())
                 .max()
                 .unwrap_or(0) as f64;
             let noisy = best + laplace(rng, per_step_scale);

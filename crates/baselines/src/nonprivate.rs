@@ -4,7 +4,9 @@
 use crate::solver::{OneClusterSolver, SolverOutput};
 use privcluster_core::ClusterError;
 use privcluster_dp::PrivacyParams;
-use privcluster_geometry::{exhaustive_smallest_ball, smallest_ball_two_approx, Dataset, GridDomain};
+use privcluster_geometry::{
+    exhaustive_smallest_ball, smallest_ball_two_approx, Dataset, GridDomain,
+};
 
 /// The folklore non-private 2-approximation (§3, fact 3).
 #[derive(Debug, Clone, Copy, Default)]

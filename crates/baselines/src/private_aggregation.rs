@@ -42,16 +42,11 @@ impl PrivateAggregationSolver {
         let half = privacy.scale(0.5)?;
 
         // Stage 1: noisy mean of everything, noise scaled to the domain.
-        let center_ref = Point::splat(
-            domain.dim(),
-            (domain.min() + domain.max()) / 2.0,
-        );
+        let center_ref = Point::splat(domain.dim(), (domain.min() + domain.max()) / 2.0);
         let cfg = NoisyAvgConfig::new(half.epsilon(), half.delta().max(1e-12), domain.diameter())?;
         let all: Vec<Point> = data.iter().cloned().collect();
         let mean = noisy_average(&all, domain.dim(), &center_ref, &cfg, rng)?;
-        let center = mean
-            .average
-            .clamp_coords(domain.min(), domain.max());
+        let center = mean.average.clamp_coords(domain.min(), domain.max());
 
         // Stage 2: noisy binary search over the radius grid for the smallest
         // radius whose ball around `center` holds ≈ t points (counting query,
@@ -148,7 +143,9 @@ mod tests {
         let m = gaussian_mixture(&domain, 2, 1_000, 0.004, 0, &mut rng);
         let t = 900;
         let solver = PrivateAggregationSolver;
-        let out = solver.solve(&m.data, &domain, t, privacy(), 0.1, 5).unwrap();
+        let out = solver
+            .solve(&m.data, &domain, t, privacy(), 0.1, 5)
+            .unwrap();
         let cluster_radius = m.components[0].radius();
         assert!(
             out.ball.radius() > 5.0 * cluster_radius,

@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn evaluation_counts_and_ratios() {
-        let data = Dataset::from_rows(vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0]]).unwrap();
+        let data =
+            Dataset::from_rows(vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0]]).unwrap();
         let ball = Ball::new(Point::new(vec![0.0, 0.0]), 0.2).unwrap();
         let e = evaluate(&data, 3, 0.1, &ball);
         assert_eq!(e.captured, 2);

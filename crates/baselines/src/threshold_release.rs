@@ -228,7 +228,11 @@ mod tests {
         // polylog(|X|)/ε count error), and the interval stays within a small
         // factor of the optimal one (the w = 1 column of Table 1, up to the
         // released-count slack).
-        assert!(eval.captured as f64 >= 0.3 * t as f64, "captured {}", eval.captured);
+        assert!(
+            eval.captured as f64 >= 0.3 * t as f64,
+            "captured {}",
+            eval.captured
+        );
         assert!(eval.radius_ratio < 6.0, "ratio {}", eval.radius_ratio);
     }
 

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privcluster_datagen::planted_ball_cluster;
-use privcluster_geometry::{smallest_ball_two_approx, welzl_meb, BallCounter, GridDomain, JlTransform};
+use privcluster_geometry::{
+    smallest_ball_two_approx, welzl_meb, BallCounter, GridDomain, JlTransform,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;

@@ -50,7 +50,10 @@ fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("good_radius_strategy");
     for (label, strategy) in [
         ("piecewise_exp_mech", RadiusSearchStrategy::PiecewiseExpMech),
-        ("noisy_binary_search", RadiusSearchStrategy::NoisyBinarySearch),
+        (
+            "noisy_binary_search",
+            RadiusSearchStrategy::NoisyBinarySearch,
+        ),
     ] {
         let cfg = GoodRadiusConfig {
             strategy,

@@ -23,13 +23,8 @@ fn bench_one_cluster_vs_n(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let t = n / 2;
         let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
-        let params = OneClusterParams::new(
-            domain,
-            t,
-            PrivacyParams::new(2.0, 1e-5).unwrap(),
-            0.1,
-        )
-        .unwrap();
+        let params =
+            OneClusterParams::new(domain, t, PrivacyParams::new(2.0, 1e-5).unwrap(), 0.1).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
             b.iter(|| {
                 one_cluster(&inst.data, &params, &mut rng)

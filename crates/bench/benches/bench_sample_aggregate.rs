@@ -43,7 +43,11 @@ fn bench_sa_mean(c: &mut Criterion) {
         };
         let mut rng = StdRng::seed_from_u64(3);
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| sample_and_aggregate(data, &MeanAnalysis, &cfg, &mut rng).unwrap().point)
+            b.iter(|| {
+                sample_and_aggregate(data, &MeanAnalysis, &cfg, &mut rng)
+                    .unwrap()
+                    .point
+            })
         });
     }
     group.finish();

@@ -4,8 +4,8 @@
 //!
 //! `cargo run -p privcluster-bench --release --bin exp_delta_scaling`
 
-use privcluster_bench::{experiments_dir, run_trials, TrialStats};
 use privcluster_baselines::PrivClusterSolver;
+use privcluster_bench::{experiments_dir, run_trials, TrialStats};
 use privcluster_datagen::planted_ball_cluster;
 use privcluster_dp::util::paper_delta_bound;
 use privcluster_dp::PrivacyParams;
@@ -27,14 +27,28 @@ fn main() {
     // ---- Δ vs ε at fixed |X| = 2^14.
     let mut table_eps = Table::new(
         "Additive loss vs ε (d=2, |X|=2^14, n=2000, t=1200)",
-        &["ε", "measured loss (t − captured)", "paper Δ bound", "solver loss bound"],
+        &[
+            "ε",
+            "measured loss (t − captured)",
+            "paper Δ bound",
+            "solver loss bound",
+        ],
     );
     for eps in [0.5, 1.0, 2.0, 4.0] {
         let privacy = PrivacyParams::new(eps, 1e-5).unwrap();
         let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
         let mut rng = StdRng::seed_from_u64((eps * 100.0) as u64);
         let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
-        let res = run_trials(&PrivClusterSolver::default(), &inst, &domain, t, privacy, beta, trials, 3);
+        let res = run_trials(
+            &PrivClusterSolver::default(),
+            &inst,
+            &domain,
+            t,
+            privacy,
+            beta,
+            trials,
+            3,
+        );
         let loss = res.mean_of(|e| (e.additive_loss.max(0)) as f64);
         let paper = paper_delta_bound(domain.size(), 2, n, eps, beta, 1e-5);
         table_eps.push_row(vec![
@@ -54,7 +68,12 @@ fn main() {
     // ---- Δ vs |X| at fixed ε = 2.
     let mut table_x = Table::new(
         "Additive loss vs |X| (d=2, ε=2, n=2000, t=1200)",
-        &["|X|", "measured loss", "paper Δ bound (9^log*)", "solver loss bound (log|X|)"],
+        &[
+            "|X|",
+            "measured loss",
+            "paper Δ bound (9^log*)",
+            "solver loss bound (log|X|)",
+        ],
     );
     for log_x in [6u32, 10, 14, 18, 24] {
         let size = 1u64 << log_x;
@@ -62,7 +81,16 @@ fn main() {
         let domain = GridDomain::unit_cube(2, size).unwrap();
         let mut rng = StdRng::seed_from_u64(log_x as u64);
         let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
-        let res = run_trials(&PrivClusterSolver::default(), &inst, &domain, t, privacy, beta, trials, 3);
+        let res = run_trials(
+            &PrivClusterSolver::default(),
+            &inst,
+            &domain,
+            t,
+            privacy,
+            beta,
+            trials,
+            3,
+        );
         let loss = res.mean_of(|e| (e.additive_loss.max(0)) as f64);
         table_x.push_row(vec![
             format!("2^{log_x}"),

@@ -76,7 +76,10 @@ fn main() {
     println!("{}", f1_table.to_markdown());
     println!(
         "{}",
-        line_plot("Figure 1: P[empty intersection] vs d", &[("first attempt", f1_series)])
+        line_plot(
+            "Figure 1: P[empty intersection] vs d",
+            &[("first attempt", f1_series)]
+        )
     );
 
     // ---- Figure 2: capture probability of Î (extended) vs I (not extended).
@@ -110,7 +113,10 @@ fn main() {
     let p_plain = captured_plain as f64 / trials as f64;
     let p_ext = captured_extended as f64 / trials as f64;
     f2_table.push_row(vec!["I (heavy interval)".into(), format!("{p_plain:.2}")]);
-    f2_table.push_row(vec!["Î (extended by |I| per side)".into(), format!("{p_ext:.2}")]);
+    f2_table.push_row(vec![
+        "Î (extended by |I| per side)".into(),
+        format!("{p_ext:.2}"),
+    ]);
     record.measure("capture_prob_plain", "figure2", &[p_plain]);
     record.measure("capture_prob_extended", "figure2", &[p_ext]);
     println!("{}", f2_table.to_markdown());

@@ -40,7 +40,12 @@ fn main() {
                 record.measure("balls", format!("k={k}"), &[out.balls.len() as f64]);
             }
             Err(e) => {
-                table.push_row(vec![k.to_string(), per_cluster.to_string(), "0".into(), format!("failed: {e}")]);
+                table.push_row(vec![
+                    k.to_string(),
+                    per_cluster.to_string(),
+                    "0".into(),
+                    format!("failed: {e}"),
+                ]);
             }
         }
     }

@@ -7,7 +7,9 @@
 use privcluster_bench::experiments_dir;
 use privcluster_dp::PrivacyParams;
 use privcluster_geometry::{Dataset, GridDomain};
-use privcluster_lowerbound::{corollary_5_4_sample_bound, int_point, max_tolerable_w, InteriorPointInstance};
+use privcluster_lowerbound::{
+    corollary_5_4_sample_bound, int_point, max_tolerable_w, InteriorPointInstance,
+};
 use privcluster_report::{ExperimentRecord, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,7 +47,11 @@ fn main() {
             let _ = trial;
         }
         let rate = successes as f64 / trials as f64;
-        table.push_row(vec![label.into(), "6000".into(), format!("{:.0}%", 100.0 * rate)]);
+        table.push_row(vec![
+            label.into(),
+            "6000".into(),
+            format!("{:.0}%", 100.0 * rate),
+        ]);
         record.measure("success_rate", label, &[rate]);
     }
     println!("{}", table.to_markdown());

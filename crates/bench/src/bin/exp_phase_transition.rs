@@ -3,8 +3,8 @@
 //!
 //! `cargo run -p privcluster-bench --release --bin exp_phase_transition`
 
-use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
 use privcluster_baselines::PrivClusterSolver;
+use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
 use privcluster_datagen::planted_ball_cluster;
 use privcluster_geometry::GridDomain;
 use privcluster_report::{line_plot, table::fmt_num, ExperimentRecord, Table};
@@ -28,7 +28,16 @@ fn main() {
         let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
         let mut rng = StdRng::seed_from_u64(t as u64);
         let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
-        let res = run_trials(&PrivClusterSolver::default(), &inst, &domain, t, privacy, 0.1, trials, 17);
+        let res = run_trials(
+            &PrivClusterSolver::default(),
+            &inst,
+            &domain,
+            t,
+            privacy,
+            0.1,
+            trials,
+            17,
+        );
         let success = res.success_rate();
         let capture_frac = res
             .mean_of(|e| e.captured as f64 / t as f64)

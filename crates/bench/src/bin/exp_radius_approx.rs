@@ -5,8 +5,8 @@
 //!
 //! `cargo run -p privcluster-bench --release --bin exp_radius_approx`
 
-use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
 use privcluster_baselines::{PrivClusterSolver, PrivateAggregationSolver};
+use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
 use privcluster_datagen::planted_ball_cluster;
 use privcluster_geometry::GridDomain;
 use privcluster_report::{line_plot, table::fmt_num, ExperimentRecord, Table};
@@ -23,7 +23,12 @@ fn main() {
     // ---- sweep n at fixed d = 2.
     let mut table_n = Table::new(
         "Radius ratio vs n (d = 2, t = n/2, majority regime for the baseline)",
-        &["n", "this-work radius/ref", "sqrt(log n)", "private-aggregation radius/ref"],
+        &[
+            "n",
+            "this-work radius/ref",
+            "sqrt(log n)",
+            "private-aggregation radius/ref",
+        ],
     );
     let mut ours_series = Vec::new();
     let mut theory_series = Vec::new();
@@ -32,8 +37,26 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let t = (0.6 * n as f64) as usize;
         let inst = planted_ball_cluster(&domain, n, t, 0.02, &mut rng);
-        let ours = run_trials(&PrivClusterSolver::default(), &inst, &domain, t, privacy, 0.1, trials, 5);
-        let agg = run_trials(&PrivateAggregationSolver, &inst, &domain, t, privacy, 0.1, trials, 5);
+        let ours = run_trials(
+            &PrivClusterSolver::default(),
+            &inst,
+            &domain,
+            t,
+            privacy,
+            0.1,
+            trials,
+            5,
+        );
+        let agg = run_trials(
+            &PrivateAggregationSolver,
+            &inst,
+            &domain,
+            t,
+            privacy,
+            0.1,
+            trials,
+            5,
+        );
         let ours_ratio = ours.mean_of(|e| e.radius_ratio).unwrap_or(f64::NAN);
         let agg_ratio = agg.mean_of(|e| e.radius_ratio).unwrap_or(f64::NAN);
         table_n.push_row(vec![
@@ -44,22 +67,38 @@ fn main() {
         ]);
         ours_series.push((n as f64, ours_ratio));
         theory_series.push((n as f64, (n as f64).ln().sqrt()));
-        record.measure("radius_ratio_ours", format!("n={n}"), &ours.collect_metric(|e| e.radius_ratio));
-        record.measure("radius_ratio_agg", format!("n={n}"), &agg.collect_metric(|e| e.radius_ratio));
+        record.measure(
+            "radius_ratio_ours",
+            format!("n={n}"),
+            &ours.collect_metric(|e| e.radius_ratio),
+        );
+        record.measure(
+            "radius_ratio_agg",
+            format!("n={n}"),
+            &agg.collect_metric(|e| e.radius_ratio),
+        );
     }
     println!("{}", table_n.to_markdown());
     println!(
         "{}",
         line_plot(
             "radius ratio vs n",
-            &[("this work", ours_series), ("sqrt(log n) (shape)", theory_series)]
+            &[
+                ("this work", ours_series),
+                ("sqrt(log n) (shape)", theory_series)
+            ]
         )
     );
 
     // ---- sweep d at fixed n.
     let mut table_d = Table::new(
         "Radius ratio vs d (n = 2000, t = 1200)",
-        &["d", "this-work radius/ref", "private-aggregation radius/ref", "sqrt(d)"],
+        &[
+            "d",
+            "this-work radius/ref",
+            "private-aggregation radius/ref",
+            "sqrt(d)",
+        ],
     );
     for d in [2usize, 4, 8, 16, 32] {
         let domain = GridDomain::unit_cube(d, 1 << 12).unwrap();
@@ -67,16 +106,46 @@ fn main() {
         let n = 2_000;
         let t = 1_200;
         let inst = planted_ball_cluster(&domain, n, t, 0.05, &mut rng);
-        let ours = run_trials(&PrivClusterSolver::default(), &inst, &domain, t, privacy, 0.1, trials, 11);
-        let agg = run_trials(&PrivateAggregationSolver, &inst, &domain, t, privacy, 0.1, trials, 11);
+        let ours = run_trials(
+            &PrivClusterSolver::default(),
+            &inst,
+            &domain,
+            t,
+            privacy,
+            0.1,
+            trials,
+            11,
+        );
+        let agg = run_trials(
+            &PrivateAggregationSolver,
+            &inst,
+            &domain,
+            t,
+            privacy,
+            0.1,
+            trials,
+            11,
+        );
         table_d.push_row(vec![
             d.to_string(),
-            ours.mean_of(|e| e.radius_ratio).map(fmt_num).unwrap_or("—".into()),
-            agg.mean_of(|e| e.radius_ratio).map(fmt_num).unwrap_or("—".into()),
+            ours.mean_of(|e| e.radius_ratio)
+                .map(fmt_num)
+                .unwrap_or("—".into()),
+            agg.mean_of(|e| e.radius_ratio)
+                .map(fmt_num)
+                .unwrap_or("—".into()),
             fmt_num((d as f64).sqrt()),
         ]);
-        record.measure("radius_ratio_ours", format!("d={d}"), &ours.collect_metric(|e| e.radius_ratio));
-        record.measure("radius_ratio_agg", format!("d={d}"), &agg.collect_metric(|e| e.radius_ratio));
+        record.measure(
+            "radius_ratio_ours",
+            format!("d={d}"),
+            &ours.collect_metric(|e| e.radius_ratio),
+        );
+        record.measure(
+            "radius_ratio_agg",
+            format!("d={d}"),
+            &agg.collect_metric(|e| e.radius_ratio),
+        );
     }
     println!("{}", table_d.to_markdown());
 

@@ -31,12 +31,18 @@ fn gaussian_data(n: usize, seed: u64) -> (Dataset, Point) {
 fn main() {
     let privacy = standard_privacy();
     let domain = GridDomain::unit_cube(2, 1 << 14).unwrap();
-    let mut record = ExperimentRecord::new("E7", "sample-and-aggregate mean vs GUPT-style averaging");
+    let mut record =
+        ExperimentRecord::new("E7", "sample-and-aggregate mean vs GUPT-style averaging");
     record.parameter("epsilon", privacy.epsilon());
 
     let mut table = Table::new(
         "Private mean estimation error (2-D Gaussian, σ = 0.02)",
-        &["n", "non-private error", "SA (this work) error", "GUPT-style error"],
+        &[
+            "n",
+            "non-private error",
+            "SA (this work) error",
+            "GUPT-style error",
+        ],
     );
     for n in [20_000usize, 60_000, 120_000] {
         let (data, truth) = gaussian_data(n, n as u64);

@@ -4,11 +4,11 @@
 //!
 //! `cargo run -p privcluster-bench --release --bin exp_table1`
 
-use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
 use privcluster_baselines::{
     ExponentialGridSolver, NonPrivateTwoApprox, OneClusterSolver, PrivClusterSolver,
     PrivateAggregationSolver, ThresholdReleaseSolver,
 };
+use privcluster_bench::{experiments_dir, run_trials, standard_privacy, TrialStats};
 use privcluster_datagen::planted_ball_cluster;
 use privcluster_geometry::GridDomain;
 use privcluster_report::{table::fmt_num, ExperimentRecord, Table};
@@ -30,7 +30,15 @@ fn main() {
     let configs = [("majority t=0.8n", 0.8), ("minority t=0.3n", 0.3)];
     let mut table = Table::new(
         "Table 1 reproduction (d=2, |X|=33, n=1500, radius 0.04)",
-        &["regime", "method", "private", "success", "captured/t", "radius/ref", "time (ms)"],
+        &[
+            "regime",
+            "method",
+            "private",
+            "success",
+            "captured/t",
+            "radius/ref",
+            "time (ms)",
+        ],
     );
 
     for (label, frac) in configs {
@@ -69,8 +77,16 @@ fn main() {
                 fmt_num(mean_ms),
             ]);
             let setting = format!("{label}/{}", solver.name());
-            record.measure("captured", &setting, &results.collect_metric(|e| e.captured as f64));
-            record.measure("radius_ratio", &setting, &results.collect_metric(|e| e.radius_ratio));
+            record.measure(
+                "captured",
+                &setting,
+                &results.collect_metric(|e| e.captured as f64),
+            );
+            record.measure(
+                "radius_ratio",
+                &setting,
+                &results.collect_metric(|e| e.radius_ratio),
+            );
             record.measure("runtime_ms", &setting, &ms);
         }
     }

@@ -61,7 +61,14 @@ pub fn run_trials(
     (0..trials)
         .map(|i| {
             let start = std::time::Instant::now();
-            match solver.solve(&instance.data, domain, t, privacy, beta, base_seed + i as u64) {
+            match solver.solve(
+                &instance.data,
+                domain,
+                t,
+                privacy,
+                beta,
+                base_seed + i as u64,
+            ) {
                 Ok(out) => TrialResult {
                     solver: solver.name(),
                     private: solver.is_private(),
@@ -134,16 +141,7 @@ mod tests {
         let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
         let inst = planted_ball_cluster(&domain, 1_500, 800, 0.02, &mut rng);
         let solver = PrivClusterSolver::default();
-        let results = run_trials(
-            &solver,
-            &inst,
-            &domain,
-            800,
-            standard_privacy(),
-            0.1,
-            2,
-            7,
-        );
+        let results = run_trials(&solver, &inst, &domain, 800, standard_privacy(), 0.1, 2, 7);
         assert_eq!(results.len(), 2);
         assert!(results.success_rate() > 0.0);
         let mean_captured = results.mean_of(|e| e.captured as f64).unwrap();

@@ -280,7 +280,7 @@ mod tests {
         let k = cfg.jl_dim(n, beta, d);
         assert_eq!(k, (46.0 * (2.0 * 1000.0 / 0.1_f64).ln()).ceil() as usize);
         assert!((cfg.box_side(r, k) - 3.0).abs() < 1e-12); // 300 · 0.01
-        // axis interval = 900 r sqrt(k ln(dn/β)/d)
+                                                           // axis interval = 900 r sqrt(k ln(dn/β)/d)
         let expected_p = 900.0 * r * (k as f64 * (512.0 * 1000.0 / 0.1_f64).ln() / 512.0).sqrt();
         assert!((cfg.axis_interval(r, k, d, n, beta) - expected_p).abs() / expected_p < 1e-9);
         // capture radius = 2700 r sqrt(k ln(dn/β))
@@ -290,9 +290,7 @@ mod tests {
         let out = cfg.output_radius(r, k);
         assert!((out / (r * (k as f64).sqrt()) - 451.01).abs() < 1.0);
         // threshold slack 100/ε ln(2n/β)
-        assert!(
-            (cfg.threshold_slack(1.0, n, beta) - 100.0 * (20000.0_f64).ln()).abs() < 1e-9
-        );
+        assert!((cfg.threshold_slack(1.0, n, beta) - 100.0 * (20000.0_f64).ln()).abs() < 1e-9);
     }
 
     #[test]

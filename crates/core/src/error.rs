@@ -88,6 +88,8 @@ mod tests {
             .contains("no heavy box"));
         use std::error::Error;
         assert!(e.source().is_some());
-        assert!(ClusterError::InvalidParameter("x".into()).source().is_none());
+        assert!(ClusterError::InvalidParameter("x".into())
+            .source()
+            .is_none());
     }
 }

@@ -115,13 +115,12 @@ pub fn good_center<R: Rng + ?Sized>(
         }
         let hist_cfg = StabilityHistogramConfig::new(eps, delta)?;
         diagnostics.charge("degenerate_point_histogram", privacy);
-        let (key, _) = choose_heavy_bin(&counts, &hist_cfg, rng)
-            .map_err(|e| match e {
-                DpError::NoOutput => ClusterError::CenterNotFound(
-                    "no single grid point is stably heavy for the radius-0 cluster".into(),
-                ),
-                other => ClusterError::Dp(other),
-            })?;
+        let (key, _) = choose_heavy_bin(&counts, &hist_cfg, rng).map_err(|e| match e {
+            DpError::NoOutput => ClusterError::CenterNotFound(
+                "no single grid point is stably heavy for the radius-0 cluster".into(),
+            ),
+            other => ClusterError::Dp(other),
+        })?;
         let center = Point::new(key.iter().map(|&bits| f64::from_bits(bits)).collect());
         diagnostics.event("degenerate radius-0 center released");
         return Ok(GoodCenterOutcome {
@@ -215,7 +214,9 @@ pub fn good_center<R: Rng + ?Sized>(
             let part = ShiftedIntervalPartition::new(p_len, 0.0)?;
             let mut counts: HashMap<i64, usize> = HashMap::new();
             for p in captured.iter() {
-                *counts.entry(part.cell_index(basis.project(p, axis))).or_insert(0) += 1;
+                *counts
+                    .entry(part.cell_index(basis.project(p, axis)))
+                    .or_insert(0) += 1;
             }
             let (cell_idx, _) = choose_heavy_bin(&counts, &axis_cfg, rng).map_err(|e| match e {
                 DpError::NoOutput => ClusterError::CenterNotFound(format!(
@@ -244,14 +245,13 @@ pub fn good_center<R: Rng + ?Sized>(
     // ---- Step 11: noisy average of D' = D ∩ C.
     let avg_cfg = NoisyAvgConfig::new(eps / 4.0, delta / 4.0, diameter_bound)?;
     diagnostics.charge("noisy_average", quarter);
-    let outcome = noisy_average(&final_points, d, &capture_center, &avg_cfg, rng).map_err(
-        |e| match e {
+    let outcome =
+        noisy_average(&final_points, d, &capture_center, &avg_cfg, rng).map_err(|e| match e {
             DpError::NoOutput => ClusterError::CenterNotFound(
                 "NoisyAVG declined (too few points in the capture region)".into(),
             ),
             other => ClusterError::Dp(other),
-        },
-    )?;
+        })?;
     diagnostics.metric("noisy_avg_sigma", outcome.sigma);
 
     // The released radius: every point of D lies within `diameter_bound` of

@@ -223,10 +223,7 @@ pub fn good_radius<R: Rng + ?Sized>(
                     lo = mid + 1;
                 }
             }
-            diagnostics.charge(
-                "step4_noisy_binary_search",
-                PrivacyParams::pure(eps / 2.0)?,
-            );
+            diagnostics.charge("step4_noisy_binary_search", PrivacyParams::pure(eps / 2.0)?);
             diagnostics.metric("chosen_grid_index", hi as f64);
             domain.radius_from_index(hi)
         }
@@ -269,9 +266,16 @@ mod tests {
             alpha: 1.5,
             ..GoodRadiusConfig::default()
         };
-        assert!(
-            good_radius(&data, &domain, 1, default_privacy(), 0.1, &bad_alpha, &mut rng).is_err()
-        );
+        assert!(good_radius(
+            &data,
+            &domain,
+            1,
+            default_privacy(),
+            0.1,
+            &bad_alpha,
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]

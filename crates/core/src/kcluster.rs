@@ -122,8 +122,7 @@ mod tests {
         let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
         let data = Dataset::from_rows(vec![vec![0.5, 0.5]; 50]).unwrap();
         let params =
-            OneClusterParams::new(domain, 10, PrivacyParams::new(1.0, 1e-5).unwrap(), 0.1)
-                .unwrap();
+            OneClusterParams::new(domain, 10, PrivacyParams::new(1.0, 1e-5).unwrap(), 0.1).unwrap();
         assert!(k_cluster(&data, 0, &params, &mut rng).is_err());
     }
 

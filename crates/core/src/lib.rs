@@ -40,7 +40,9 @@ pub mod kcluster;
 pub mod one_cluster;
 pub mod outliers;
 
-pub use config::{CenterPreset, GoodCenterConfig, GoodRadiusConfig, OneClusterParams, RadiusSearchStrategy};
+pub use config::{
+    CenterPreset, GoodCenterConfig, GoodRadiusConfig, OneClusterParams, RadiusSearchStrategy,
+};
 pub use diagnostics::Diagnostics;
 pub use error::ClusterError;
 pub use good_center::{good_center, GoodCenterOutcome};

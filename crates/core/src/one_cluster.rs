@@ -94,7 +94,9 @@ pub fn one_cluster<R: Rng + ?Sized>(
     // stability-histogram loss on top of GoodRadius's loss (Lemma 4.12's
     // t − O((1/ε)·log(n/β)) term); we report the combined bound.
     let eps_center = half.epsilon();
-    let center_loss = params.center_config.threshold_slack(eps_center, data.len(), half_beta)
+    let center_loss = params
+        .center_config
+        .threshold_slack(eps_center, data.len(), half_beta)
         + 8.0 / eps_center * (2.0 * data.len() as f64 / half_beta).ln();
     let loss_bound = radius_loss + center_loss;
 

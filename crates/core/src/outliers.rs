@@ -85,14 +85,8 @@ pub fn screened_noisy_mean<R: Rng + ?Sized>(
         privacy.delta(),
         2.0 * screen.ball().radius(),
     )?;
-    noisy_average(
-        &inliers,
-        data.dim(),
-        screen.ball().center(),
-        &cfg,
-        rng,
-    )
-    .map_err(ClusterError::from)
+    noisy_average(&inliers, data.dim(), screen.ball().center(), &cfg, rng)
+        .map_err(ClusterError::from)
 }
 
 #[cfg(test)]
@@ -107,12 +101,8 @@ mod tests {
     fn screen_partitions_points_by_the_ball() {
         let ball = Ball::new(Point::new(vec![0.5, 0.5]), 0.1).unwrap();
         let screen = OutlierScreen::new(ball);
-        let data = Dataset::from_rows(vec![
-            vec![0.5, 0.5],
-            vec![0.55, 0.5],
-            vec![0.9, 0.9],
-        ])
-        .unwrap();
+        let data =
+            Dataset::from_rows(vec![vec![0.5, 0.5], vec![0.55, 0.5], vec![0.9, 0.9]]).unwrap();
         assert!(screen.is_inlier(data.point(0)));
         assert!(!screen.is_inlier(data.point(2)));
         let (inl, out) = screen.partition(&data);
@@ -145,21 +135,17 @@ mod tests {
         // diameter (and the outliers drag the estimate too).
         let cfg = NoisyAvgConfig::new(1.0, 1e-6, domain.diameter()).unwrap();
         let all: Vec<Point> = inst.data.iter().cloned().collect();
-        let naive = noisy_average(
-            &all,
-            2,
-            &Point::splat(2, 0.5),
-            &cfg,
-            &mut rng,
-        )
-        .unwrap();
+        let naive = noisy_average(&all, 2, &Point::splat(2, 0.5), &cfg, &mut rng).unwrap();
         let naive_err = naive.average.distance(&true_mean);
 
         assert!(
             screened_err < naive_err,
             "screened error {screened_err} not smaller than naive {naive_err}"
         );
-        assert!(screened_err < 0.05, "screened error too large: {screened_err}");
+        assert!(
+            screened_err < 0.05,
+            "screened error too large: {screened_err}"
+        );
     }
 
     #[test]

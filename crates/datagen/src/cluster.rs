@@ -114,8 +114,8 @@ pub fn planted_ball_cluster<R: Rng + ?Sized>(
     let data = Dataset::new(points).expect("generated points share the domain dimension");
     // Snapping may push points slightly outside the sampled ball; widen by a
     // grid step so the reported ball really covers its points.
-    let planted_ball = Ball::new(center, cluster_radius + domain.grid_step())
-        .expect("radius positive");
+    let planted_ball =
+        Ball::new(center, cluster_radius + domain.grid_step()).expect("radius positive");
     PlantedCluster {
         data,
         planted_ball,
@@ -157,8 +157,11 @@ pub fn planted_gaussian_cluster<R: Rng + ?Sized>(
     }
     points.extend(uniform_background(domain, n - cluster_size, rng));
     let data = Dataset::new(points).expect("generated points share the domain dimension");
-    let planted_ball = Ball::new(center, 3.0 * sigma * (dim as f64).sqrt() + domain.grid_step())
-        .expect("radius positive");
+    let planted_ball = Ball::new(
+        center,
+        3.0 * sigma * (dim as f64).sqrt() + domain.grid_step(),
+    )
+    .expect("radius positive");
     PlantedCluster {
         data,
         planted_ball,

@@ -212,7 +212,12 @@ mod tests {
         let mut ledger = PrivacyLedger::new();
         assert!(ledger.is_empty());
         let quarter = PrivacyParams::new(0.25, 2.5e-7).unwrap();
-        for label in ["above_threshold", "box_choice", "axis_intervals", "noisy_avg"] {
+        for label in [
+            "above_threshold",
+            "box_choice",
+            "axis_intervals",
+            "noisy_avg",
+        ] {
             ledger.charge(label, quarter);
         }
         assert_eq!(ledger.len(), 4);

@@ -48,9 +48,7 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
         )));
     }
     if qualities.iter().any(|q| !q.is_finite()) {
-        return Err(DpError::InvalidParameter(
-            "qualities must be finite".into(),
-        ));
+        return Err(DpError::InvalidParameter("qualities must be finite".into()));
     }
     // Gumbel-max: argmax_i (ε q_i / (2Δ) + G_i) is distributed exactly as the
     // exponential mechanism.
@@ -290,7 +288,10 @@ mod tests {
         }
         let p = second as f64 / trials as f64;
         let expected = (eps * gap / 2.0).exp() / (1.0 + (eps * gap / 2.0).exp());
-        assert!((p - expected).abs() < 0.01, "p = {p}, expected = {expected}");
+        assert!(
+            (p - expected).abs() < 0.01,
+            "p = {p}, expected = {expected}"
+        );
     }
 
     #[test]
@@ -376,8 +377,8 @@ mod tests {
         let mut counts_piece = vec![0usize; 12];
         let mut counts_plain = vec![0usize; 12];
         for _ in 0..trials {
-            counts_piece[piecewise_exponential_mechanism(&pw, eps, 1.0, &mut rng).unwrap() as usize] +=
-                1;
+            counts_piece
+                [piecewise_exponential_mechanism(&pw, eps, 1.0, &mut rng).unwrap() as usize] += 1;
             counts_plain[exponential_mechanism(&materialized, eps, 1.0, &mut rng).unwrap()] += 1;
         }
         for i in 0..12 {

@@ -122,7 +122,10 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let sigma2 = m.sigma() * m.sigma();
         assert!(mean.abs() < 0.1, "mean = {mean}");
-        assert!((var - sigma2).abs() / sigma2 < 0.05, "var = {var}, σ² = {sigma2}");
+        assert!(
+            (var - sigma2).abs() / sigma2 < 0.05,
+            "var = {var}, σ² = {sigma2}"
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ mod tests {
             .count() as f64
             / n as f64;
         // P(|Lap(b)| > b ln(1/β)) = β exactly; allow sampling slack.
-        assert!((violations - beta).abs() < 0.01, "violations = {violations}");
+        assert!(
+            (violations - beta).abs() < 0.01,
+            "violations = {violations}"
+        );
     }
 
     #[test]
@@ -141,8 +144,12 @@ mod tests {
         let mut hist_b = std::collections::HashMap::new();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..n {
-            *hist_a.entry(bin(m.release(10.0, &mut rng))).or_insert(0usize) += 1;
-            *hist_b.entry(bin(m.release(11.0, &mut rng))).or_insert(0usize) += 1;
+            *hist_a
+                .entry(bin(m.release(10.0, &mut rng)))
+                .or_insert(0usize) += 1;
+            *hist_b
+                .entry(bin(m.release(11.0, &mut rng)))
+                .or_insert(0usize) += 1;
         }
         let mut max_ratio: f64 = 0.0;
         for (k, &ca) in &hist_a {

@@ -51,8 +51,8 @@ pub mod util;
 pub use composition::{advanced_composition, basic_composition, PrivacyLedger};
 pub use error::DpError;
 pub use exponential::{
-    exp_mech_error_bound, exponential_mechanism, piecewise_exponential_mechanism,
-    PiecewiseQuality, Segment,
+    exp_mech_error_bound, exponential_mechanism, piecewise_exponential_mechanism, PiecewiseQuality,
+    Segment,
 };
 pub use gaussian::GaussianMechanism;
 pub use laplace::LaplaceMechanism;

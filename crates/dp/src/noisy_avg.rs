@@ -61,7 +61,8 @@ impl NoisyAvgConfig {
         if target_sigma <= 0.0 {
             return f64::INFINITY;
         }
-        16.0 * self.diameter / (self.epsilon * target_sigma) * (2.0 * (8.0 / self.delta).ln()).sqrt()
+        16.0 * self.diameter / (self.epsilon * target_sigma)
+            * (2.0 * (8.0 / self.delta).ln()).sqrt()
     }
 }
 

@@ -46,9 +46,7 @@ impl AboveThreshold {
             )));
         }
         if !threshold.is_finite() {
-            return Err(DpError::InvalidParameter(
-                "threshold must be finite".into(),
-            ));
+            return Err(DpError::InvalidParameter("threshold must be finite".into()));
         }
         Ok(AboveThreshold {
             epsilon,
@@ -186,8 +184,12 @@ mod tests {
 
     #[test]
     fn error_bound_formula_monotonicity() {
-        assert!(AboveThreshold::error_bound(1.0, 10, 0.1) < AboveThreshold::error_bound(1.0, 100, 0.1));
-        assert!(AboveThreshold::error_bound(2.0, 10, 0.1) < AboveThreshold::error_bound(1.0, 10, 0.1));
+        assert!(
+            AboveThreshold::error_bound(1.0, 10, 0.1) < AboveThreshold::error_bound(1.0, 100, 0.1)
+        );
+        assert!(
+            AboveThreshold::error_bound(2.0, 10, 0.1) < AboveThreshold::error_bound(1.0, 10, 0.1)
+        );
         assert!(AboveThreshold::error_bound(1.0, 0, 0.1) > 0.0);
     }
 }

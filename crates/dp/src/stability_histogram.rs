@@ -166,7 +166,10 @@ mod tests {
         let hist = counts(&[("a", 2), ("b", 1), ("c", 2)]);
         let mut bottoms = 0;
         for _ in 0..200 {
-            if matches!(choose_heavy_bin(&hist, &cfg, &mut rng), Err(DpError::NoOutput)) {
+            if matches!(
+                choose_heavy_bin(&hist, &cfg, &mut rng),
+                Err(DpError::NoOutput)
+            ) {
                 bottoms += 1;
             }
         }

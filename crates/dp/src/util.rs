@@ -117,7 +117,7 @@ mod tests {
         assert_eq!(tower(3), 16.0);
         assert_eq!(tower(4), 65536.0);
         assert_eq!(tower(5), f64::MAX); // 2^65536 overflows f64
-        // tower and log_star are inverse-ish: log_star(tower(j)) == j for small j
+                                        // tower and log_star are inverse-ish: log_star(tower(j)) == j for small j
         for j in 1..5 {
             assert_eq!(log_star(tower(j)), j);
         }

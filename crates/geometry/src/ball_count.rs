@@ -362,7 +362,9 @@ mod tests {
         assert_eq!(bc.max_capped_count(1.0), t);
 
         // Neighbour: replace e1 by another copy of 2e1.
-        let data2 = data.replace_row(0, crate::point::Point::new(vec![2.0])).unwrap();
+        let data2 = data
+            .replace_row(0, crate::point::Point::new(vec![2.0]))
+            .unwrap();
         let bc2 = BallCounter::new(&data2, t);
         // Now the best radius-1 ball around an input point contains t/2 + 1.
         assert_eq!(bc2.max_capped_count(1.0), t / 2 + 1);

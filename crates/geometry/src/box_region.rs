@@ -226,11 +226,7 @@ mod tests {
         // Figure 1: two per-axis "heavy" intervals can intersect in a region
         // containing no input point. The box machinery must allow expressing
         // that situation (non-empty geometric intersection, zero points).
-        let pts = crate::dataset::Dataset::from_rows(vec![
-            vec![0.1, 0.9],
-            vec![0.9, 0.1],
-        ])
-        .unwrap();
+        let pts = crate::dataset::Dataset::from_rows(vec![vec![0.1, 0.9], vec![0.9, 0.1]]).unwrap();
         let heavy_x = AxisAlignedBox::new(vec![0.0, 0.0], vec![0.2, 1.0]).unwrap();
         let heavy_y = AxisAlignedBox::new(vec![0.0, 0.0], vec![1.0, 0.2]).unwrap();
         let inter = heavy_x.intersection(&heavy_y).unwrap();

@@ -250,7 +250,10 @@ mod tests {
         let err = Dataset::from_rows(vec![vec![0.0, 0.0], vec![1.0]]);
         assert!(matches!(
             err,
-            Err(GeometryError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(GeometryError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 

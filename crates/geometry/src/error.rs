@@ -47,11 +47,15 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 3"));
         assert!(e.to_string().contains("got 2"));
-        assert!(GeometryError::EmptyDataset.to_string().contains("non-empty"));
+        assert!(GeometryError::EmptyDataset
+            .to_string()
+            .contains("non-empty"));
         assert!(GeometryError::InvalidParameter("t must be positive".into())
             .to_string()
             .contains("t must be positive"));
-        assert!(GeometryError::Numerical("nan".into()).to_string().contains("nan"));
+        assert!(GeometryError::Numerical("nan".into())
+            .to_string()
+            .contains("nan"));
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub use distance::DistanceMatrix;
 pub use domain::GridDomain;
 pub use error::GeometryError;
 pub use jl::JlTransform;
-pub use meb::{exhaustive_smallest_ball, smallest_ball_two_approx, smallest_interval_1d, welzl_meb};
+pub use meb::{
+    exhaustive_smallest_ball, smallest_ball_two_approx, smallest_interval_1d, welzl_meb,
+};
 pub use partition::{BoxPartition, ShiftedIntervalPartition};
 pub use point::Point;
 pub use rotation::OrthonormalBasis;

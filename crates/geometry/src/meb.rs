@@ -98,8 +98,7 @@ fn ball_from_support(support: &[Point]) -> Option<Ball> {
 /// Welzl's algorithm.
 fn welzl_recurse(points: &mut Vec<Point>, support: &mut Vec<Point>, n: usize, dim: usize) -> Ball {
     if n == 0 || support.len() == dim + 1 {
-        return ball_from_support(support)
-            .unwrap_or_else(|| Ball::degenerate(Point::origin(dim)));
+        return ball_from_support(support).unwrap_or_else(|| Ball::degenerate(Point::origin(dim)));
     }
     let p = points[n - 1].clone();
     let ball = welzl_recurse(points, support, n - 1, dim);
@@ -266,8 +265,8 @@ mod tests {
         assert!(ball_from_support(&[]).is_none());
         let single = ball_from_support(&[Point::new(vec![2.0, 3.0])]).unwrap();
         assert_eq!(single.radius(), 0.0);
-        let pair = ball_from_support(&[Point::new(vec![0.0, 0.0]), Point::new(vec![2.0, 0.0])])
-            .unwrap();
+        let pair =
+            ball_from_support(&[Point::new(vec![0.0, 0.0]), Point::new(vec![2.0, 0.0])]).unwrap();
         assert!((pair.radius() - 1.0).abs() < 1e-9);
         assert!((pair.center()[0] - 1.0).abs() < 1e-9);
         // Equilateral-ish triangle circumcircle.
@@ -370,9 +369,8 @@ mod tests {
 
     #[test]
     fn smallest_interval_1d_exact() {
-        let data =
-            Dataset::from_rows(vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0], vec![5.05]])
-                .unwrap();
+        let data = Dataset::from_rows(vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0], vec![5.05]])
+            .unwrap();
         let b3 = smallest_interval_1d(&data, 3).unwrap();
         assert!((b3.radius() - 0.1).abs() < 1e-12);
         assert!((b3.center()[0] - 0.1).abs() < 1e-12);

@@ -281,7 +281,11 @@ mod tests {
         let side = 8.0;
         let cluster = Dataset::from_rows(
             (0..20)
-                .map(|i| (0..k).map(|j| 3.0 + ((i * 7 + j) % 10) as f64 * (w / 10.0)).collect())
+                .map(|i| {
+                    (0..k)
+                        .map(|j| 3.0 + ((i * 7 + j) % 10) as f64 * (w / 10.0))
+                        .collect()
+                })
                 .collect(),
         )
         .unwrap();

@@ -247,7 +247,10 @@ mod tests {
         let b = Point::origin(3);
         assert!(matches!(
             a.try_distance(&b),
-            Err(GeometryError::DimensionMismatch { expected: 2, actual: 3 })
+            Err(GeometryError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
         ));
     }
 

@@ -166,6 +166,9 @@ mod tests {
                 }
             }
         }
-        assert_eq!(violations, 0, "projection bound violated {violations} times");
+        assert_eq!(
+            violations, 0,
+            "projection bound violated {violations} times"
+        );
     }
 }

@@ -66,7 +66,12 @@ pub fn int_point<R: Rng + ?Sized>(
     let mut values: Vec<f64> = instance.data.iter().map(|p| p[0]).collect();
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let start = (m - inner_n) / 2;
-    let middle = Dataset::from_rows(values[start..start + inner_n].iter().map(|v| vec![*v]).collect())?;
+    let middle = Dataset::from_rows(
+        values[start..start + inner_n]
+            .iter()
+            .map(|v| vec![*v])
+            .collect(),
+    )?;
 
     // Step 2: run the 1-cluster solver on the middle entries.
     let params = OneClusterParams::new(domain.clone(), t.min(inner_n), half, beta / 2.0)?;
@@ -154,17 +159,7 @@ mod tests {
         let trials = 5;
         for trial in 0..trials {
             let inst = gaussian_instance(6_000, 100 + trial);
-            let out = int_point(
-                &inst,
-                &domain,
-                4_000,
-                2_000,
-                8.0,
-                privacy,
-                0.1,
-                &mut rng,
-            )
-            .unwrap();
+            let out = int_point(&inst, &domain, 4_000, 2_000, 8.0, privacy, 0.1, &mut rng).unwrap();
             assert!(out.candidates >= 1);
             if inst.solved_by(out.value) {
                 successes += 1;

@@ -13,8 +13,12 @@ pub fn line_plot(title: &str, series: &[(&str, Vec<(f64, f64)>)]) -> String {
     if points.is_empty() {
         return format!("{title}\n(no data)\n");
     }
-    let (mut xmin, mut xmax, mut ymin, mut ymax) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut xmin, mut xmax, mut ymin, mut ymax) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in &points {
         xmin = xmin.min(x);
         xmax = xmax.max(x);

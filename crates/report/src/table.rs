@@ -48,10 +48,7 @@ impl Table {
             out.push_str(&format!("### {}\n\n", self.title));
         }
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -73,7 +70,12 @@ impl Table {
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| sanitize(c)).collect::<Vec<_>>().join(","));
+            out.push_str(
+                &row.iter()
+                    .map(|c| sanitize(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
             out.push('\n');
         }
         out

@@ -42,22 +42,20 @@ fn main() {
     );
 
     // Step 2a: private mean with noise scaled to the *screen ball* (ε = 1).
-    let screened =
-        screened_noisy_mean(data, &screen, PrivacyParams::new(1.0, 1e-5).unwrap(), &mut rng)
-            .expect("mean released");
+    let screened = screened_noisy_mean(
+        data,
+        &screen,
+        PrivacyParams::new(1.0, 1e-5).unwrap(),
+        &mut rng,
+    )
+    .expect("mean released");
     let screened_err = screened.average.distance(&true_inlier_mean);
 
     // Step 2b: the naive alternative — a private mean over the whole domain.
     let naive_cfg = NoisyAvgConfig::new(1.0, 1e-5, domain.diameter()).expect("valid");
     let everything: Vec<Point> = data.iter().cloned().collect();
-    let naive = noisy_average(
-        &everything,
-        2,
-        &Point::splat(2, 0.5),
-        &naive_cfg,
-        &mut rng,
-    )
-    .expect("mean released");
+    let naive = noisy_average(&everything, 2, &Point::splat(2, 0.5), &naive_cfg, &mut rng)
+        .expect("mean released");
     let naive_err = naive.average.distance(&true_inlier_mean);
 
     println!("-- private mean of the inliers --");

@@ -46,7 +46,10 @@ fn main() {
         outcome.ball.center()[1]
     );
     println!("radius            = {:.4}", outcome.ball.radius());
-    println!("radius estimate r = {:.4} (GoodRadius stage)", outcome.radius_estimate);
+    println!(
+        "radius estimate r = {:.4} (GoodRadius stage)",
+        outcome.radius_estimate
+    );
     println!(
         "captured          = {captured_cluster}/{t} planted points ({captured_total} points total)"
     );

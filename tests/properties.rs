@@ -10,11 +10,8 @@ use privcluster::geometry::{
 use proptest::prelude::*;
 
 fn dataset_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..1.0, dim..=dim),
-        2..max_n,
-    )
-    .prop_map(|rows| Dataset::from_rows(rows).expect("rows share dimension"))
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, dim..=dim), 2..max_n)
+        .prop_map(|rows| Dataset::from_rows(rows).expect("rows share dimension"))
 }
 
 proptest! {

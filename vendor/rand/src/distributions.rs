@@ -1,0 +1,219 @@
+//! Distributions: `Standard`, uniform ranges, and the `Distribution` trait.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: `[0, 1)` for floats, full range
+/// for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// The open unit interval `(0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Open01;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Open01 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // (0, 1): uniform over the 2^53 grid, shifted off the endpoints.
+        ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $next:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$next() as $t
+            }
+        }
+    )*};
+}
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+/// Uniform sampling over ranges.
+pub mod uniform {
+    use super::{Distribution, Standard};
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types with a uniform sampler over sub-ranges.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)`. Panics if `low >= high`.
+        fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples uniformly from `[low, high]`. Panics if `low > high`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_inclusive(low, high, rng)
+        }
+    }
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low < high, "gen_range: low {low} >= high {high}");
+                    let u: $t = Standard.sample(rng);
+                    let x = low + u * (high - low);
+                    // Guard against rounding up to the excluded endpoint.
+                    if x >= high { <$t>::max(low, high - (high - low) * <$t>::EPSILON) } else { x }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low <= high, "gen_range: low {low} > high {high}");
+                    let u: $t = Standard.sample(rng);
+                    low + u * (high - low)
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low < high, "gen_range: low {low} >= high {high}");
+                    let span = (high - low) as u64;
+                    low + sample_below(span, rng) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low <= high, "gen_range: low {low} > high {high}");
+                    let span = (high - low) as u64;
+                    if span == u64::MAX {
+                        return low.wrapping_add(rng.next_u64() as $t);
+                    }
+                    low + sample_below(span + 1, rng) as $t
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty => $u:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low < high, "gen_range: low {low} >= high {high}");
+                    // The span must be computed in the same-width unsigned
+                    // type: subtracting in the signed type wraps for ranges
+                    // wider than half the type, and a narrow signed result
+                    // would then sign-extend into a bogus u64 span.
+                    let span = (high as $u).wrapping_sub(low as $u) as u64;
+                    low.wrapping_add(sample_below(span, rng) as $t)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low <= high, "gen_range: low {low} > high {high}");
+                    let span = (high as $u).wrapping_sub(low as $u) as u64;
+                    if span == u64::MAX {
+                        return low.wrapping_add(rng.next_u64() as $t);
+                    }
+                    low.wrapping_add(sample_below(span + 1, rng) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    /// Uniform in `[0, n)` via Lemire's widening-multiply method with
+    /// rejection, so there is no modulo bias.
+    fn sample_below<R: RngCore + ?Sized>(n: u64, rng: &mut R) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+            // Rejected: lo falls in the biased zone; redraw.
+        }
+    }
+
+    /// A materialized uniform distribution over a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform + Copy> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Uniform { low, high }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> UniformInclusive<T> {
+            UniformInclusive { low, high }
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_half_open(self.low, self.high, rng)
+        }
+    }
+
+    /// A materialized uniform distribution over an inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct UniformInclusive<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform + Copy> Distribution<T> for UniformInclusive<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_inclusive(self.low, self.high, rng)
+        }
+    }
+}
+
+pub use uniform::Uniform;

@@ -1,0 +1,237 @@
+//! Offline vendored shim of the `serde` API surface used by this workspace.
+//!
+//! Instead of serde's zero-copy visitor architecture, this shim routes all
+//! (de)serialization through an owned JSON [`Value`] tree — more than enough
+//! for the workspace's experiment records, and small enough to vendor. The
+//! derive macros (re-exported from the sibling `serde_derive` shim) generate
+//! impls of the two traits below for named-field structs and unit enums.
+
+// Re-export the derive macros under the trait names, as serde's `derive`
+// feature does. (A derive macro and a trait may share a name: they live in
+// different namespaces.)
+pub use serde_derive::Deserialize;
+pub use serde_derive::Serialize;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion into a JSON [`Value`].
+pub trait Serialize {
+    /// Builds the JSON value representing `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Conversion from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, reporting a human-readable error on mismatch.
+    fn from_json_value(value: &Value) -> Result<Self, String>;
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, found {value:?}"))
+    }
+}
+
+macro_rules! serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, String> {
+                value
+                    .as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| format!("expected number, found {value:?}"))
+            }
+        }
+    )*};
+}
+serde_float!(f32, f64);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, String> {
+                let x = value
+                    .as_f64()
+                    .ok_or_else(|| format!("expected number, found {value:?}"))?;
+                if x.fract() != 0.0 {
+                    return Err(format!("expected integer, found {x}"));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_array()
+            .ok_or_else(|| format!("expected array, found {value:?}"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_object()
+            .ok_or_else(|| format!("expected object, found {value:?}"))?
+            .iter()
+            .map(|(k, v)| V::from_json_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_object()
+            .ok_or_else(|| format!("expected object, found {value:?}"))?
+            .iter()
+            .map(|(k, v)| V::from_json_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}

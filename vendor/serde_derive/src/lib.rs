@@ -1,0 +1,230 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the workspace's serde shim.
+//!
+//! Written against `proc_macro` only (no `syn`/`quote`, which are not
+//! available offline). Supports the shapes the workspace actually uses:
+//! structs with named fields, and fieldless (unit-variant) enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// A struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum whose variants all carry no data.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Parses the derive input far enough to recover the type name and its
+/// field (or unit-variant) names. Generics are not supported.
+fn parse_shape(input: TokenStream, trait_name: &str) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+
+    // Skip attributes (`# [ ... ]`), doc comments included, and visibility.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Possible `pub(crate)` group follows.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = iter.next();
+                            }
+                        }
+                    }
+                    "struct" => kind = Some("struct"),
+                    "enum" => kind = Some("enum"),
+                    _ if kind.is_some() => break s,
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive({trait_name}): could not find type name"),
+        }
+    };
+
+    // The next brace group holds the fields / variants.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive({trait_name}) on `{name}`: generics are not supported by the vendored serde shim")
+            }
+            Some(_) => {}
+            None => panic!("derive({trait_name}) on `{name}`: tuple/unit types are not supported"),
+        }
+    };
+
+    match kind {
+        Some("struct") => Shape::Struct {
+            name,
+            fields: named_fields(body, trait_name),
+        },
+        Some("enum") => Shape::UnitEnum {
+            name,
+            variants: unit_variants(body, trait_name),
+        },
+        _ => panic!("derive({trait_name}): expected struct or enum"),
+    }
+}
+
+/// Extracts field names from a named-field struct body: for each
+/// comma-separated entry, the identifier immediately before the first
+/// top-level `:`.
+fn named_fields(body: TokenStream, trait_name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    let mut flush = |tokens: &mut Vec<TokenTree>| {
+        if tokens.is_empty() {
+            return;
+        }
+        let mut name = None;
+        let mut it = tokens.iter().peekable();
+        while let Some(tt) = it.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    let _ = it.next();
+                }
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = it.next();
+                            }
+                        }
+                        continue;
+                    }
+                    name = Some(s);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        fields.push(
+            name.unwrap_or_else(|| panic!("derive({trait_name}): could not parse a field name")),
+        );
+        tokens.clear();
+    };
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                flush(&mut current);
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        current.push(tt);
+    }
+    flush(&mut current);
+    fields
+}
+
+/// Extracts variant names from a fieldless enum body.
+fn unit_variants(body: TokenStream, trait_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    for tt in body {
+        match tt {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Punct(p) if p.as_char() == '#' => {}
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!(
+                "derive({trait_name}): enum variants with data are not supported (found `{other}`)"
+            ),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` for named-field structs and unit enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input, "Serialize") {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` for named-field structs and unit enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input, "Deserialize") {
+        Shape::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\n\
+                             obj.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v)\n\
+                                 .ok_or_else(|| format!(\"missing field `{f}` in {name}\"))?,\n\
+                         )?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(value: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         let obj = value.as_object().ok_or_else(|| format!(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {field_inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(value: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         let s = value.as_str().ok_or_else(|| format!(\"expected string for {name}\"))?;\n\
+                         match s {{ {arms} other => Err(format!(\"unknown {name} variant `{{other}}`\")) }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}
