@@ -82,7 +82,7 @@ impl NoisyTree {
         // Greedily cover [covered, end) with the largest aligned blocks.
         for level in 0..=self.levels {
             let block = self.size >> level;
-            while remaining >= block && covered % block == 0 {
+            while remaining >= block && covered.is_multiple_of(block) {
                 total += self.nodes[level][covered / block];
                 covered += block;
                 remaining -= block;

@@ -1,0 +1,83 @@
+//! Engine batch throughput (queries/sec) at 1, 2, and 4 worker threads.
+//!
+//! The workload is a batch of 8 seeded GoodRadius queries against one
+//! registered dataset; each bench iteration builds a fresh engine so cache
+//! hits and budget exhaustion cannot leak across iterations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_engine::{Engine, EngineConfig, Query, QueryRequest};
+use privcluster_geometry::GridDomain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const BATCH: usize = 8;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn fresh_engine(threads: usize) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        threads,
+        cache_capacity: 0, // disable caching: measure execution, not replay
+    });
+    let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = planted_ball_cluster(&domain, 500, 250, 0.02, &mut rng);
+    engine
+        .register_dataset(
+            "bench",
+            inst.data,
+            domain,
+            // Roomy budget: throughput, not enforcement, is being measured.
+            PrivacyParams::new(1e6, 0.5).unwrap(),
+            CompositionMode::Basic,
+        )
+        .unwrap();
+    engine
+}
+
+fn workload() -> Vec<QueryRequest> {
+    (0..BATCH as u64)
+        .map(|seed| QueryRequest {
+            dataset: "bench".into(),
+            seed,
+            privacy: PrivacyParams::new(1.0, 1e-8).unwrap(),
+            query: Query::GoodRadius { t: 250, beta: 0.1 },
+        })
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch_8_queries");
+    let requests = workload();
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let engine = fresh_engine(threads);
+                    let out = engine.run_batch(&requests);
+                    assert!(out.iter().all(|r| r.is_ok()));
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine_throughput
+}
+criterion_main!(benches);

@@ -48,6 +48,7 @@ pub struct TrialResult {
 
 /// Runs `solver` for `trials` independent seeds on the same instance and
 /// returns per-trial results.
+#[allow(clippy::too_many_arguments)] // one knob per experiment-table column
 pub fn run_trials(
     solver: &dyn OneClusterSolver,
     instance: &PlantedCluster,

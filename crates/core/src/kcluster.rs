@@ -29,16 +29,45 @@ pub struct KClusterOutcome {
 }
 
 impl KClusterOutcome {
+    /// Number of `data`'s points covered by at least one released ball.
+    ///
+    /// One pass over the data: per point, the ball scan stops at the first
+    /// hit, and each per-ball distance accumulation bails out as soon as the
+    /// partial squared distance exceeds that ball's squared radius — so far
+    /// points are rejected after a few coordinates instead of a full `O(d)`
+    /// distance per ball.
+    pub fn covered_count(&self, data: &Dataset) -> usize {
+        // Precompute squared radii with the same boundary tolerance as
+        // `Ball::contains` so the two agree point-for-point.
+        let thresholds: Vec<(&Ball, f64)> = self
+            .balls
+            .iter()
+            .map(|b| (b, b.radius() * b.radius() * (1.0 + 1e-12) + 1e-24))
+            .collect();
+        data.iter()
+            .filter(|p| {
+                thresholds.iter().any(|(ball, r2)| {
+                    let center = ball.center().coords();
+                    let mut acc = 0.0;
+                    for (a, b) in center.iter().zip(p.coords()) {
+                        let diff = a - b;
+                        acc += diff * diff;
+                        if acc > *r2 {
+                            return false;
+                        }
+                    }
+                    true
+                })
+            })
+            .count()
+    }
+
     /// Fraction of `data`'s points covered by at least one released ball.
     pub fn coverage(&self, data: &Dataset) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
-        let covered = data
-            .iter()
-            .filter(|p| self.balls.iter().any(|b| b.contains(p)))
-            .count();
-        covered as f64 / data.len() as f64
+        self.covered_count(data) as f64 / data.len() as f64
     }
 }
 
@@ -115,6 +144,36 @@ mod tests {
     use privcluster_geometry::GridDomain;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn covered_count_agrees_with_naive_ball_scan() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let domain = GridDomain::unit_cube(3, 1 << 10).unwrap();
+        let m = gaussian_mixture(&domain, 2, 300, 0.01, 100, &mut rng);
+        let outcome = KClusterOutcome {
+            balls: vec![
+                Ball::new(m.data.point(0).clone(), 0.05).unwrap(),
+                Ball::new(m.data.point(300).clone(), 0.02).unwrap(),
+                Ball::degenerate(m.data.point(10).clone()),
+            ],
+            completed: true,
+            diagnostics: Diagnostics::new(),
+        };
+        let naive = m
+            .data
+            .iter()
+            .filter(|p| outcome.balls.iter().any(|b| b.contains(p)))
+            .count();
+        assert_eq!(outcome.covered_count(&m.data), naive);
+        assert!((outcome.coverage(&m.data) - naive as f64 / m.data.len() as f64).abs() < 1e-15);
+        let empty = KClusterOutcome {
+            balls: Vec::new(),
+            completed: false,
+            diagnostics: Diagnostics::new(),
+        };
+        assert_eq!(empty.covered_count(&m.data), 0);
+        assert_eq!(empty.coverage(&Dataset::empty(3)), 0.0);
+    }
 
     #[test]
     fn rejects_zero_k() {

@@ -16,8 +16,8 @@ pub fn sensitivity_example(t: usize, dim: usize) -> (Dataset, Dataset) {
     let two_e1 = Point::unit(dim, 0, 2.0);
     let zero = Point::origin(dim);
     let mut rows = vec![e1];
-    rows.extend(std::iter::repeat(zero).take(t / 2));
-    rows.extend(std::iter::repeat(two_e1.clone()).take(t / 2));
+    rows.extend(std::iter::repeat_n(zero, t / 2));
+    rows.extend(std::iter::repeat_n(two_e1.clone(), t / 2));
     let original = Dataset::new(rows).expect("rows share dimension");
     let neighbour = original
         .replace_row(0, two_e1)

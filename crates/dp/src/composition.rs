@@ -83,6 +83,28 @@ pub fn per_mechanism_epsilon_for_advanced(
     Ok(x)
 }
 
+/// Which composition theorem a ledger total (and budget check) uses.
+///
+/// * [`CompositionMode::Basic`] sums ε and δ over the charges (Theorem 2.1).
+/// * [`CompositionMode::Advanced`] additionally applies the
+///   Dwork–Rothblum–Vadhan bound (Theorem 4.7) with slack `δ'`. The theorem
+///   is stated for `k` uses of one `(ε, δ)` mechanism; for a heterogeneous
+///   ledger we apply it with `ε = max εᵢ`, `δ = max δᵢ` — every entry is
+///   trivially `(max εᵢ, max δᵢ)`-DP — which is conservative but sound.
+///   Both the basic pair and the advanced pair are then valid guarantees for
+///   the composed interaction, so the total reports whichever pair has the
+///   smaller ε, and a budget check passes if *either* pair fits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompositionMode {
+    /// Basic composition: sum ε and δ.
+    Basic,
+    /// Advanced composition with slack `delta_prime` added to the composed δ.
+    Advanced {
+        /// The `δ'` slack of Theorem 4.7; must lie in `(0, 1)`.
+        delta_prime: f64,
+    },
+}
+
 /// One entry of a [`PrivacyLedger`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LedgerEntry {
@@ -138,21 +160,131 @@ impl PrivacyLedger {
         )
     }
 
+    /// Total privacy cost under the given composition mode.
+    ///
+    /// Under [`CompositionMode::Advanced`] both the basic pair and the
+    /// (heterogeneous-safe, see [`CompositionMode`]) advanced pair are valid
+    /// guarantees; the one with the smaller ε is returned.
+    pub fn total_under(&self, mode: CompositionMode) -> Result<PrivacyParams, DpError> {
+        let basic = self.total_basic()?;
+        match mode {
+            CompositionMode::Basic => Ok(basic),
+            CompositionMode::Advanced { delta_prime } => {
+                let advanced = self.total_advanced(delta_prime)?;
+                if advanced.epsilon() < basic.epsilon() {
+                    Ok(advanced)
+                } else {
+                    Ok(basic)
+                }
+            }
+        }
+    }
+
+    /// Total privacy cost under advanced composition with slack `delta_prime`,
+    /// treating every entry as a `(max εᵢ, max δᵢ)` mechanism (sound for
+    /// heterogeneous ledgers, tight for homogeneous ones).
+    pub fn total_advanced(&self, delta_prime: f64) -> Result<PrivacyParams, DpError> {
+        if self.entries.is_empty() {
+            return Err(DpError::InvalidParameter(
+                "cannot compose an empty list of mechanisms".into(),
+            ));
+        }
+        let eps_max = self
+            .entries
+            .iter()
+            .map(|e| e.params.epsilon())
+            .fold(0.0, f64::max);
+        let delta_max = self
+            .entries
+            .iter()
+            .map(|e| e.params.delta())
+            .fold(0.0, f64::max);
+        advanced_composition(
+            PrivacyParams::new(eps_max, delta_max)?,
+            self.entries.len(),
+            delta_prime,
+        )
+    }
+
     /// Verifies the ledger total (basic composition) does not exceed `budget`
     /// (up to a small numerical slack).
     pub fn verify_within(&self, budget: PrivacyParams) -> Result<(), DpError> {
-        let total = self.total_basic()?;
-        let slack = 1e-9;
-        if total.epsilon() > budget.epsilon() * (1.0 + slack) + slack
-            || total.delta() > budget.delta() * (1.0 + slack) + 1e-15
-        {
-            return Err(DpError::BudgetExhausted {
-                requested_epsilon: total.epsilon(),
-                remaining_epsilon: budget.epsilon(),
-            });
-        }
-        Ok(())
+        self.verify_within_mode(budget, CompositionMode::Basic)
     }
+
+    /// Verifies the ledger stays within `budget` under `mode`. Under advanced
+    /// mode the check passes when *either* the basic or the advanced composed
+    /// pair fits the budget (each is a valid guarantee on its own).
+    pub fn verify_within_mode(
+        &self,
+        budget: PrivacyParams,
+        mode: CompositionMode,
+    ) -> Result<(), DpError> {
+        let basic = self.total_basic()?;
+        if fits_within(basic, budget) {
+            return Ok(());
+        }
+        if let CompositionMode::Advanced { delta_prime } = mode {
+            let advanced = self.total_advanced(delta_prime)?;
+            if fits_within(advanced, budget) {
+                return Ok(());
+            }
+        }
+        Err(DpError::BudgetExhausted {
+            requested_epsilon: basic.epsilon(),
+            remaining_epsilon: budget.epsilon(),
+        })
+    }
+
+    /// Atomically records a charge *only if* the ledger stays within `budget`
+    /// under `mode` afterwards. On refusal the ledger is left unchanged and
+    /// [`DpError::BudgetExhausted`] reports the requested ε and the ε still
+    /// unspent under basic composition.
+    pub fn charge_within(
+        &mut self,
+        label: impl Into<String>,
+        params: PrivacyParams,
+        budget: PrivacyParams,
+        mode: CompositionMode,
+    ) -> Result<PrivacyParams, DpError> {
+        self.entries.push(LedgerEntry {
+            label: label.into(),
+            params,
+        });
+        match self.verify_within_mode(budget, mode) {
+            Ok(()) => self.total_under(mode),
+            Err(DpError::BudgetExhausted { .. }) => {
+                let entry = self.entries.pop().expect("entry was just pushed");
+                // Report headroom under the *selected* theorem so refusals
+                // quote the same figure as status/spend queries.
+                let spent = if self.entries.is_empty() {
+                    0.0
+                } else {
+                    self.total_under(mode)?.epsilon()
+                };
+                Err(DpError::BudgetExhausted {
+                    requested_epsilon: entry.params.epsilon(),
+                    remaining_epsilon: (budget.epsilon() - spent).max(0.0),
+                })
+            }
+            // A non-budget error (e.g. an invalid δ' reaching
+            // total_advanced) is a caller bug, not a refusal: surface it
+            // as-is, with the speculative entry rolled back.
+            Err(other) => {
+                self.entries.pop();
+                Err(other)
+            }
+        }
+    }
+}
+
+/// Whether the composed pair `total` fits within `budget` (small relative
+/// slack for floating-point accumulation). Public so accountants layered on
+/// the ledger can report spend pairs consistently with this admission rule.
+pub fn fits_within(total: PrivacyParams, budget: PrivacyParams) -> bool {
+    let slack = 1e-9;
+    total.epsilon() <= budget.epsilon() * (1.0 + slack) + slack
+        && total.delta() <= budget.delta() * (1.0 + slack) + 1e-15
 }
 
 #[cfg(test)]
@@ -205,6 +337,87 @@ mod tests {
         assert!(per_mechanism_epsilon_for_advanced(0.0, k, dp).is_err());
         assert!(per_mechanism_epsilon_for_advanced(1.0, 0, dp).is_err());
         assert!(per_mechanism_epsilon_for_advanced(1.0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn charge_within_commits_only_affordable_charges() {
+        let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let mode = CompositionMode::Basic;
+        let mut ledger = PrivacyLedger::new();
+        let step = PrivacyParams::new(0.4, 1e-7).unwrap();
+        assert!(ledger.charge_within("q0", step, budget, mode).is_ok());
+        assert!(ledger.charge_within("q1", step, budget, mode).is_ok());
+        // A third 0.4 would compose to 1.2 > 1.0: refused, ledger unchanged.
+        let before = ledger.entries().to_vec();
+        let err = ledger.charge_within("q2", step, budget, mode).unwrap_err();
+        match err {
+            DpError::BudgetExhausted {
+                requested_epsilon,
+                remaining_epsilon,
+            } => {
+                assert!((requested_epsilon - 0.4).abs() < 1e-12);
+                assert!((remaining_epsilon - 0.2).abs() < 1e-12);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(ledger.entries(), &before[..]);
+        // A smaller charge still fits.
+        let small = PrivacyParams::new(0.15, 1e-8).unwrap();
+        let total = ledger.charge_within("q3", small, budget, mode).unwrap();
+        assert!((total.epsilon() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_mode_admits_more_small_queries_than_basic() {
+        let budget = PrivacyParams::new(1.0, 1e-4).unwrap();
+        let per = PrivacyParams::new(0.02, 1e-9).unwrap();
+        let count = |mode: CompositionMode| {
+            let mut ledger = PrivacyLedger::new();
+            let mut granted = 0usize;
+            for i in 0..5_000 {
+                if ledger
+                    .charge_within(format!("q{i}"), per, budget, mode)
+                    .is_err()
+                {
+                    break;
+                }
+                granted += 1;
+            }
+            // Whatever was granted must verify under the same mode.
+            ledger.verify_within_mode(budget, mode).unwrap();
+            granted
+        };
+        let basic = count(CompositionMode::Basic);
+        let advanced = count(CompositionMode::Advanced { delta_prime: 1e-5 });
+        assert_eq!(basic, 50); // 50 · 0.02 = 1.0
+        assert!(
+            advanced > basic,
+            "advanced composition should admit more ε=0.02 queries (basic {basic}, advanced {advanced})"
+        );
+    }
+
+    #[test]
+    fn total_under_reports_the_tighter_valid_pair() {
+        let mut ledger = PrivacyLedger::new();
+        let per = PrivacyParams::new(0.01, 0.0).unwrap();
+        for i in 0..1000 {
+            ledger.charge(format!("q{i}"), per);
+        }
+        let basic = ledger.total_under(CompositionMode::Basic).unwrap();
+        let mode = CompositionMode::Advanced { delta_prime: 1e-6 };
+        let advanced = ledger.total_under(mode).unwrap();
+        assert!((basic.epsilon() - 10.0).abs() < 1e-9);
+        assert!(advanced.epsilon() < basic.epsilon());
+        assert_eq!(
+            advanced,
+            ledger.total_advanced(1e-6).unwrap(),
+            "with many small charges the advanced pair should win"
+        );
+        // With a single large charge, basic is tighter and must be returned.
+        let mut one = PrivacyLedger::new();
+        one.charge("big", PrivacyParams::new(2.0, 1e-9).unwrap());
+        let picked = one.total_under(mode).unwrap();
+        assert!((picked.epsilon() - 2.0).abs() < 1e-12);
     }
 
     #[test]

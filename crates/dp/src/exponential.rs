@@ -374,8 +374,8 @@ mod tests {
         let materialized: Vec<f64> = (0..12).map(|i| pw.quality_at(i).unwrap()).collect();
         let eps = 1.0;
         let trials = 60_000;
-        let mut counts_piece = vec![0usize; 12];
-        let mut counts_plain = vec![0usize; 12];
+        let mut counts_piece = [0usize; 12];
+        let mut counts_plain = [0usize; 12];
         for _ in 0..trials {
             counts_piece
                 [piecewise_exponential_mechanism(&pw, eps, 1.0, &mut rng).unwrap() as usize] += 1;
@@ -400,7 +400,7 @@ mod tests {
         .unwrap();
         for _ in 0..50 {
             let idx = piecewise_exponential_mechanism(&pw, 1.0, 1.0, &mut rng).unwrap();
-            assert!(idx >= 1_999_999_000 && idx < 2_000_001_000, "idx = {idx}");
+            assert!((1_999_999_000..2_000_001_000).contains(&idx), "idx = {idx}");
         }
     }
 

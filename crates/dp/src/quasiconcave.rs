@@ -31,6 +31,11 @@ pub trait QualityOracle {
     /// `|F|`.
     fn len(&self) -> u64;
 
+    /// Whether the solution set is empty (solvers reject such oracles).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// `Q(S, f_index)`; must have sensitivity 1 in `S` for the privacy
     /// guarantee of the solver to hold.
     fn quality(&self, index: u64) -> f64;

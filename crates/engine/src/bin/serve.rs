@@ -1,0 +1,69 @@
+//! The engine's JSON-lines service front-end.
+//!
+//! ```text
+//! serve [--tcp ADDR] [--threads N] [--cache N]
+//! ```
+//!
+//! By default the service speaks newline-delimited JSON over stdin/stdout —
+//! ideal for piping canned request scripts (the CI smoke test does exactly
+//! that). With `--tcp ADDR` it listens on a socket instead. See the
+//! `privcluster_engine::protocol` docs for the request/response schema.
+
+use privcluster_engine::{protocol, Engine, EngineConfig};
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--tcp ADDR] [--threads N] [--cache N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut tcp_addr: Option<String> = None;
+    let mut config = EngineConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => tcp_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache" => {
+                config.cache_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let engine = Engine::new(config);
+    let served = match tcp_addr {
+        Some(addr) => protocol::serve_tcp(&engine, &addr, |bound| {
+            // Written to stderr so stdout stays pure protocol.
+            eprintln!("privcluster-engine listening on {bound}");
+        }),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let result =
+                protocol::serve_lines(&engine, BufReader::new(stdin.lock()), stdout.lock())
+                    .map(|_| ());
+            std::io::stdout().flush().ok();
+            result
+        }
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A bounded LRU result cache.
+//!
+//! Released query results are pure outputs of differentially private
+//! mechanisms, so replaying one is post-processing and costs **zero**
+//! additional budget (Definition 1.1 is closed under post-processing).
+//! Caching therefore makes repeated queries free in both latency and
+//! privacy; the engine keys entries by `(dataset, query, seed, budget)` —
+//! see [`QueryRequest::cache_key`].
+//!
+//! [`QueryRequest::cache_key`]: crate::query::QueryRequest::cache_key
+
+use crate::query::QueryValue;
+use std::collections::HashMap;
+
+/// A bounded least-recently-used map from cache keys to released results.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, Slot>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    value: QueryValue,
+    last_used: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results (a capacity of 0
+    /// disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<QueryValue> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.hits += 1;
+                Some(slot.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a released result, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: String, value: QueryValue) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(
+            key,
+            Slot {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(r: f64) -> QueryValue {
+        QueryValue::Radius { radius: r }
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        let mut cache = ResultCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert("a".into(), value(1.0));
+        cache.insert("b".into(), value(2.0));
+        // Touch `a` so `b` is the LRU entry when `c` arrives.
+        assert_eq!(cache.get("a"), Some(value(1.0)));
+        cache.insert("c".into(), value(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some(value(1.0)));
+        assert_eq!(cache.get("c"), Some(value(3.0)));
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("a".into(), value(1.0));
+        cache.insert("b".into(), value(2.0));
+        cache.insert("a".into(), value(9.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a"), Some(value(9.0)));
+        assert_eq!(cache.get("b"), Some(value(2.0)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert("a".into(), value(1.0));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+    }
+}

@@ -1,0 +1,556 @@
+//! The engine: registration, admission (budget + cache), and execution.
+//!
+//! Admission is strictly ordered and execution is embarrassingly parallel:
+//!
+//! 1. **Admission** (sequential, in submission order): look the request up
+//!    in the result cache — a hit is post-processing and charges nothing —
+//!    otherwise validate it with the planner and charge the dataset's
+//!    [`BudgetAccountant`]. A refused request never reaches the data.
+//! 2. **Execution** (parallel): admitted plans run on the worker pool, each
+//!    with its own seed-derived RNG stream, so the results of a batch are
+//!    bit-identical whether run on 1 thread or 8.
+//!
+//! Failures *after* admission are not refunded: whether an algorithm fails
+//! can itself depend on the data, so the spend must stand (the same policy a
+//! GUPT-style deployment uses).
+//!
+//! [`BudgetAccountant`]: crate::accountant::BudgetAccountant
+
+use crate::cache::ResultCache;
+use crate::error::EngineError;
+use crate::planner::{plan, Plan};
+use crate::pool::run_on_pool;
+use crate::query::{QueryRequest, QueryValue};
+use crate::registry::{DatasetEntry, DatasetRegistry};
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::{Dataset, GridDomain};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads used by [`Engine::run_batch`].
+    pub threads: usize,
+    /// Capacity of the released-result cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1),
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Public, non-sensitive description of a registered dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStatus {
+    /// Registered name.
+    pub name: String,
+    /// Number of points (public: declared at registration).
+    pub points: usize,
+    /// Ambient dimension.
+    pub dim: usize,
+    /// Declared total budget.
+    pub budget: PrivacyParams,
+    /// Selected composition theorem.
+    pub mode: CompositionMode,
+    /// Queries granted so far.
+    pub granted: usize,
+    /// Queries refused so far.
+    pub refused: usize,
+    /// Composed spend under the selected theorem (`None` before any grant).
+    pub spent: Option<PrivacyParams>,
+    /// ε still unspent.
+    pub remaining_epsilon: f64,
+}
+
+/// The response to a granted (or cache-served) query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The released result.
+    pub value: QueryValue,
+    /// Whether the result came from the cache (in which case nothing was
+    /// charged: replaying a released result is post-processing).
+    pub cached: bool,
+    /// What this query charged the ledger (`None` on cache hits).
+    pub charged: Option<PrivacyParams>,
+    /// ε still unspent on the dataset after this query.
+    pub remaining_epsilon: f64,
+}
+
+/// A long-lived, concurrent clustering query engine with per-dataset
+/// privacy-budget enforcement.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    registry: DatasetRegistry,
+    cache: Mutex<ResultCache>,
+    /// Cache keys of queries currently admitted but not yet finished.
+    /// Concurrent identical requests coalesce on this set instead of each
+    /// charging the budget for the same released value (the cache alone
+    /// cannot prevent that: it is only filled after execution).
+    pending: Mutex<std::collections::HashSet<String>>,
+    pending_done: std::sync::Condvar,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            registry: DatasetRegistry::new(),
+            config,
+            pending: Mutex::new(std::collections::HashSet::new()),
+            pending_done: std::sync::Condvar::new(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Registers an immutable dataset under `name` with a total privacy
+    /// budget and a composition theorem. Names are write-once.
+    pub fn register_dataset(
+        &self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        domain: GridDomain,
+        budget: PrivacyParams,
+        mode: CompositionMode,
+    ) -> Result<DatasetStatus, EngineError> {
+        let entry = DatasetEntry::new(name, dataset, domain, budget, mode)?;
+        let entry = self.registry.register(entry)?;
+        Ok(self.status_of(&entry))
+    }
+
+    /// The registered dataset names, sorted.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.registry.names()
+    }
+
+    /// The public status of a registered dataset.
+    pub fn status(&self, name: &str) -> Result<DatasetStatus, EngineError> {
+        let entry = self.registry.get(name)?;
+        Ok(self.status_of(&entry))
+    }
+
+    fn status_of(&self, entry: &DatasetEntry) -> DatasetStatus {
+        let accountant = entry.accountant();
+        DatasetStatus {
+            name: entry.name().to_string(),
+            points: entry.dataset().len(),
+            dim: entry.dataset().dim(),
+            budget: accountant.budget(),
+            mode: accountant.mode(),
+            granted: accountant.granted(),
+            refused: accountant.refused(),
+            spent: accountant.composed_spend(),
+            remaining_epsilon: accountant.remaining_epsilon(),
+        }
+    }
+
+    /// Cache hit / miss counters of the released-result cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        (cache.hits(), cache.misses())
+    }
+
+    /// Admission only: cache lookup (coalescing with identical in-flight
+    /// queries), then plan + charge. Returns either a finished response
+    /// (cache hit) or the admitted plan to execute.
+    fn admit(&self, request: &QueryRequest) -> Result<Admitted, EngineError> {
+        let entry = self.registry.get(&request.dataset)?;
+        let key = request.cache_key();
+        {
+            let mut pending = self.pending.lock().expect("pending lock poisoned");
+            loop {
+                // The cache guard is transient, so pending → cache is the
+                // only order in which both locks are ever held at once.
+                if let Some(value) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+                    let remaining = entry.accountant().remaining_epsilon();
+                    return Ok(Admitted::Done(QueryResponse {
+                        value,
+                        cached: true,
+                        charged: None,
+                        remaining_epsilon: remaining,
+                    }));
+                }
+                if !pending.contains(&key) {
+                    pending.insert(key.clone());
+                    break;
+                }
+                // An identical query is executing right now: wait for it
+                // and serve its released result instead of charging twice.
+                pending = self
+                    .pending_done
+                    .wait(pending)
+                    .expect("pending lock poisoned");
+            }
+        }
+        // From here this thread owns `key` in the pending set and must
+        // release it on every exit path.
+        let planned = plan(&request.query, request.privacy, &entry);
+        let plan = match planned {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.release_pending(&key);
+                return Err(e);
+            }
+        };
+        let charged = {
+            let mut accountant = entry.accountant();
+            accountant
+                .try_charge(request.query.label(), request.privacy)
+                .map(|_| accountant.remaining_epsilon())
+        };
+        let remaining_epsilon = match charged {
+            Ok(remaining) => remaining,
+            Err(e) => {
+                self.release_pending(&key);
+                return Err(e);
+            }
+        };
+        Ok(Admitted::Run {
+            entry,
+            plan,
+            key,
+            seed: request.seed,
+            charged: request.privacy,
+            remaining_epsilon,
+        })
+    }
+
+    /// Removes a key from the in-flight set and wakes coalesced waiters.
+    fn release_pending(&self, key: &str) {
+        self.pending
+            .lock()
+            .expect("pending lock poisoned")
+            .remove(key);
+        self.pending_done.notify_all();
+    }
+
+    fn finish(
+        &self,
+        entry: &DatasetEntry,
+        plan: &Plan,
+        key: String,
+        seed: u64,
+        charged: PrivacyParams,
+        remaining_epsilon: f64,
+    ) -> Result<QueryResponse, EngineError> {
+        let result = plan.execute(entry, seed);
+        if let Ok(value) = &result {
+            self.cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(key.clone(), value.clone());
+        }
+        // Wake coalesced waiters whether the run succeeded (they will find
+        // the cache entry) or failed (they will admit and charge their own
+        // attempt, exactly as in the sequential case).
+        self.release_pending(&key);
+        Ok(QueryResponse {
+            value: result?,
+            cached: false,
+            charged: Some(charged),
+            remaining_epsilon,
+        })
+    }
+
+    /// Runs one query end to end: cache lookup, admission, execution.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, EngineError> {
+        match self.admit(request)? {
+            Admitted::Done(response) => Ok(response),
+            Admitted::Run {
+                entry,
+                plan,
+                key,
+                seed,
+                charged,
+                remaining_epsilon,
+            } => self.finish(&entry, &plan, key, seed, charged, remaining_epsilon),
+        }
+    }
+
+    /// Runs a batch of independent queries on the worker pool.
+    ///
+    /// Admission (budget charging and cache lookups) happens sequentially in
+    /// submission order — so which queries are granted when the budget runs
+    /// low does not depend on thread scheduling — and execution then fans
+    /// out over [`EngineConfig::threads`] workers. Identical requests within
+    /// one batch are admitted (and charged) once; later copies share the
+    /// first copy's released result exactly like a cache hit, so repeats
+    /// stay free in budget even before the first execution lands in the
+    /// cache. Results come back in submission order and are bit-identical
+    /// across thread counts.
+    pub fn run_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, EngineError>> {
+        enum BatchSlot {
+            Admitted(Result<Admitted, EngineError>),
+            DuplicateOf(usize),
+        }
+        let mut first_by_key: HashMap<String, usize> = HashMap::new();
+        let mut slots: Vec<BatchSlot> = Vec::with_capacity(requests.len());
+        for (index, request) in requests.iter().enumerate() {
+            let key = request.cache_key();
+            if let Some(&first) = first_by_key.get(&key) {
+                slots.push(BatchSlot::DuplicateOf(first));
+                continue;
+            }
+            let admitted = self.admit(request);
+            if matches!(admitted, Ok(Admitted::Run { .. })) {
+                first_by_key.insert(key, index);
+            }
+            slots.push(BatchSlot::Admitted(admitted));
+        }
+
+        // Execute every uniquely admitted slot on the pool.
+        let mut jobs = Vec::new();
+        let mut job_targets = Vec::new();
+        for (index, slot) in slots.iter_mut().enumerate() {
+            if let BatchSlot::Admitted(admitted) = slot {
+                let admitted =
+                    std::mem::replace(admitted, Err(EngineError::Protocol(String::new())));
+                job_targets.push(index);
+                jobs.push(move || match admitted {
+                    Err(e) => Err(e),
+                    Ok(Admitted::Done(response)) => Ok(response),
+                    Ok(Admitted::Run {
+                        entry,
+                        plan,
+                        key,
+                        seed,
+                        charged,
+                        remaining_epsilon,
+                    }) => self.finish(&entry, &plan, key, seed, charged, remaining_epsilon),
+                });
+            }
+        }
+        let executed = run_on_pool(jobs, self.config.threads);
+        let mut results: Vec<Option<Result<QueryResponse, EngineError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (index, result) in job_targets.into_iter().zip(executed) {
+            results[index] = Some(result);
+        }
+        // In-batch duplicates mirror their original: the released value is
+        // shared (post-processing) and nothing extra is charged. The
+        // reported budget headroom is looked up fresh — all of the batch's
+        // charges landed during admission, so this matches what a status
+        // call would say, rather than the original's admission-time value.
+        for (index, slot) in slots.iter().enumerate() {
+            if let BatchSlot::DuplicateOf(first) = slot {
+                let mirrored = match results[*first]
+                    .as_ref()
+                    .expect("originals are filled before duplicates")
+                {
+                    Ok(response) => {
+                        let remaining_epsilon = self
+                            .registry
+                            .get(&requests[index].dataset)
+                            .map(|entry| entry.accountant().remaining_epsilon())
+                            .unwrap_or(response.remaining_epsilon);
+                        Ok(QueryResponse {
+                            value: response.value.clone(),
+                            cached: true,
+                            charged: None,
+                            remaining_epsilon,
+                        })
+                    }
+                    Err(e) => Err(e.clone()),
+                };
+                results[index] = Some(mirrored);
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot is filled"))
+            .collect()
+    }
+}
+
+/// The outcome of admission: already served (cache) or ready to run.
+enum Admitted {
+    Done(QueryResponse),
+    Run {
+        entry: Arc<DatasetEntry>,
+        plan: Plan,
+        key: String,
+        seed: u64,
+        charged: PrivacyParams,
+        remaining_epsilon: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use privcluster_datagen::planted_ball_cluster;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_with_dataset(budget_epsilon: f64) -> Engine {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            cache_capacity: 16,
+        });
+        let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = planted_ball_cluster(&domain, 400, 200, 0.02, &mut rng);
+        engine
+            .register_dataset(
+                "demo",
+                inst.data,
+                domain,
+                PrivacyParams::new(budget_epsilon, 1e-5).unwrap(),
+                CompositionMode::Basic,
+            )
+            .unwrap();
+        engine
+    }
+
+    fn radius_request(seed: u64) -> QueryRequest {
+        QueryRequest {
+            dataset: "demo".into(),
+            seed,
+            privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
+            query: Query::GoodRadius { t: 200, beta: 0.1 },
+        }
+    }
+
+    #[test]
+    fn cache_hits_charge_nothing() {
+        let engine = engine_with_dataset(2.0);
+        let first = engine.query(&radius_request(1)).unwrap();
+        assert!(!first.cached);
+        assert!(first.charged.is_some());
+        let second = engine.query(&radius_request(1)).unwrap();
+        assert!(second.cached);
+        assert!(second.charged.is_none());
+        assert_eq!(second.value, first.value);
+        assert_eq!(second.remaining_epsilon, first.remaining_epsilon);
+        let status = engine.status("demo").unwrap();
+        assert_eq!(status.granted, 1);
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn budget_runs_out_and_refuses() {
+        let engine = engine_with_dataset(1.0);
+        // Two ε=0.5 queries fit; a third distinct one must be refused.
+        engine.query(&radius_request(1)).unwrap();
+        engine.query(&radius_request(2)).unwrap();
+        let err = engine.query(&radius_request(3)).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+        // But the *same* queries keep being answered from the cache.
+        assert!(engine.query(&radius_request(1)).unwrap().cached);
+        let status = engine.status("demo").unwrap();
+        assert_eq!(status.granted, 2);
+        assert_eq!(status.refused, 1);
+        assert!(status.remaining_epsilon < 1e-9);
+    }
+
+    #[test]
+    fn invalid_queries_do_not_burn_budget() {
+        let engine = engine_with_dataset(1.0);
+        let mut bad = radius_request(1);
+        bad.query = Query::GoodRadius {
+            t: 100_000,
+            beta: 0.1,
+        };
+        assert!(matches!(
+            engine.query(&bad),
+            Err(EngineError::InvalidQuery(_))
+        ));
+        let status = engine.status("demo").unwrap();
+        assert_eq!(status.granted, 0);
+        assert!((status.remaining_epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_dataset_is_reported() {
+        let engine = engine_with_dataset(1.0);
+        let mut req = radius_request(1);
+        req.dataset = "nope".into();
+        assert!(matches!(
+            engine.query(&req),
+            Err(EngineError::UnknownDataset(_))
+        ));
+        assert!(engine.status("nope").is_err());
+        assert_eq!(engine.dataset_names(), vec!["demo".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_are_charged_once() {
+        // Four threads race the same request on a budget that only fits one
+        // ε = 0.5 charge twice: without in-flight coalescing, two racers
+        // could both miss the cache and charge, exhausting the budget for
+        // one logical query.
+        let engine = engine_with_dataset(1.0);
+        let request = radius_request(77);
+        let responses: Vec<QueryResponse> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| engine.query(&request).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let status = engine.status("demo").unwrap();
+        assert_eq!(status.granted, 1, "identical racers must be charged once");
+        assert_eq!(responses.iter().filter(|r| !r.cached).count(), 1);
+        for response in &responses {
+            assert_eq!(response.value, responses[0].value);
+        }
+        assert!((status.remaining_epsilon - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_batch_duplicates_are_charged_once() {
+        let engine = engine_with_dataset(1.0);
+        // Three copies of one ε = 0.5 request: only the first is charged,
+        // even though none of them is in the cache at admission time.
+        let reqs = vec![radius_request(1), radius_request(1), radius_request(1)];
+        let out = engine.run_batch(&reqs);
+        let first = out[0].as_ref().unwrap();
+        assert!(!first.cached);
+        assert!(first.charged.is_some());
+        for later in &out[1..] {
+            let later = later.as_ref().unwrap();
+            assert!(later.cached);
+            assert!(later.charged.is_none());
+            assert_eq!(later.value, first.value);
+        }
+        let status = engine.status("demo").unwrap();
+        assert_eq!(status.granted, 1);
+        assert!((status.remaining_epsilon - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batches_preserve_order_and_admission_sequence() {
+        let engine = engine_with_dataset(1.0);
+        // Budget fits exactly two of the three distinct queries: the *first
+        // two* must be granted, the third refused — regardless of threads.
+        let reqs = vec![radius_request(10), radius_request(11), radius_request(12)];
+        let out = engine.run_batch(&reqs);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_ok());
+        assert!(matches!(
+            out[2].as_ref().unwrap_err(),
+            EngineError::BudgetExhausted { .. }
+        ));
+    }
+}

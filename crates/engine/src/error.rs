@@ -1,0 +1,123 @@
+//! Error type of the query engine.
+
+use privcluster_core::ClusterError;
+use privcluster_dp::DpError;
+use privcluster_geometry::GeometryError;
+use std::fmt;
+
+/// Errors produced by the query engine.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// A query named a dataset that was never registered.
+    UnknownDataset(String),
+    /// A registration reused an existing dataset name (datasets are
+    /// immutable; re-registration would silently reset the budget).
+    DatasetExists(String),
+    /// Admitting the query would push the dataset's composed privacy spend
+    /// past its declared budget. The ledger is left unchanged.
+    BudgetExhausted {
+        /// The dataset whose budget ran out.
+        dataset: String,
+        /// ε the refused query asked for.
+        requested_epsilon: f64,
+        /// ε still unspent under basic composition.
+        remaining_epsilon: f64,
+    },
+    /// The query was malformed (unknown type, parameters out of range,
+    /// dimension mismatch, …) and was rejected *before* any budget was
+    /// charged.
+    InvalidQuery(String),
+    /// The query was admitted (and charged) but the underlying algorithm
+    /// failed; the charge is *not* refunded, because the failure itself can
+    /// depend on the data.
+    ExecutionFailed(String),
+    /// A malformed request reached the JSON-lines front-end.
+    Protocol(String),
+}
+
+impl EngineError {
+    /// Stable machine-readable error kind for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::UnknownDataset(_) => "unknown_dataset",
+            EngineError::DatasetExists(_) => "dataset_exists",
+            EngineError::BudgetExhausted { .. } => "budget_exhausted",
+            EngineError::InvalidQuery(_) => "invalid_query",
+            EngineError::ExecutionFailed(_) => "execution_failed",
+            EngineError::Protocol(_) => "protocol",
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            EngineError::DatasetExists(name) => {
+                write!(f, "dataset `{name}` is already registered")
+            }
+            EngineError::BudgetExhausted {
+                dataset,
+                requested_epsilon,
+                remaining_epsilon,
+            } => write!(
+                f,
+                "privacy budget of dataset `{dataset}` exhausted: requested ε = {requested_epsilon}, remaining ε = {remaining_epsilon}"
+            ),
+            EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            EngineError::ExecutionFailed(m) => write!(f, "query execution failed: {m}"),
+            EngineError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ClusterError> for EngineError {
+    fn from(e: ClusterError) -> Self {
+        EngineError::ExecutionFailed(e.to_string())
+    }
+}
+
+impl From<DpError> for EngineError {
+    fn from(e: DpError) -> Self {
+        EngineError::InvalidQuery(e.to_string())
+    }
+}
+
+impl From<GeometryError> for EngineError {
+    fn from(e: GeometryError) -> Self {
+        EngineError::InvalidQuery(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_messages() {
+        let e = EngineError::BudgetExhausted {
+            dataset: "d".into(),
+            requested_epsilon: 0.5,
+            remaining_epsilon: 0.1,
+        };
+        assert_eq!(e.kind(), "budget_exhausted");
+        assert!(e.to_string().contains("`d`"));
+        assert_eq!(
+            EngineError::UnknownDataset("x".into()).kind(),
+            "unknown_dataset"
+        );
+        assert_eq!(
+            EngineError::DatasetExists("x".into()).kind(),
+            "dataset_exists"
+        );
+        assert_eq!(
+            EngineError::InvalidQuery("m".into()).kind(),
+            "invalid_query"
+        );
+        assert_eq!(EngineError::Protocol("m".into()).kind(), "protocol");
+        let from_cluster: EngineError = ClusterError::InvalidParameter("p".into()).into();
+        assert_eq!(from_cluster.kind(), "execution_failed");
+    }
+}

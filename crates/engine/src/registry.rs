@@ -1,0 +1,195 @@
+//! The dataset registry: named, immutable datasets with their domains,
+//! budgets, and accountants.
+//!
+//! Registration is the engine's trust boundary: a dataset enters once with a
+//! declared total [`PrivacyParams`] budget and a composition theorem, and
+//! every later query is charged against that budget by the entry's
+//! [`BudgetAccountant`]. Entries are immutable after registration (the
+//! ledger inside the accountant is the only mutable state), so readers never
+//! need a write lock.
+
+use crate::accountant::BudgetAccountant;
+use crate::error::EngineError;
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::{Dataset, GridDomain};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One registered dataset.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    name: String,
+    dataset: Dataset,
+    domain: GridDomain,
+    accountant: Mutex<BudgetAccountant>,
+}
+
+impl DatasetEntry {
+    /// Builds an entry, validating that the data lives in the domain's
+    /// ambient dimension.
+    pub fn new(
+        name: impl Into<String>,
+        dataset: Dataset,
+        domain: GridDomain,
+        budget: PrivacyParams,
+        mode: CompositionMode,
+    ) -> Result<Self, EngineError> {
+        let name = name.into();
+        if dataset.dim() != domain.dim() {
+            return Err(EngineError::InvalidQuery(format!(
+                "dataset `{name}` has dimension {} but its domain has dimension {}",
+                dataset.dim(),
+                domain.dim()
+            )));
+        }
+        let accountant = BudgetAccountant::new(&name, budget, mode)?;
+        Ok(DatasetEntry {
+            name,
+            dataset,
+            domain,
+            accountant: Mutex::new(accountant),
+        })
+    }
+
+    /// The dataset's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The immutable data.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The grid domain the data lives in.
+    pub fn domain(&self) -> &GridDomain {
+        &self.domain
+    }
+
+    /// Locks and returns the entry's budget accountant.
+    pub fn accountant(&self) -> std::sync::MutexGuard<'_, BudgetAccountant> {
+        self.accountant
+            .lock()
+            .expect("accountant lock poisoned: a charging thread panicked")
+    }
+}
+
+/// A concurrent map of registered datasets.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    entries: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DatasetRegistry::default()
+    }
+
+    /// Registers an entry; refuses to overwrite an existing name (datasets
+    /// and their budgets are immutable once registered).
+    pub fn register(&self, entry: DatasetEntry) -> Result<Arc<DatasetEntry>, EngineError> {
+        let mut entries = self.entries.write().expect("registry lock poisoned");
+        if entries.contains_key(entry.name()) {
+            return Err(EngineError::DatasetExists(entry.name().to_string()));
+        }
+        let entry = Arc::new(entry);
+        entries.insert(entry.name().to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks up a dataset by name.
+    pub fn get(&self, name: &str) -> Result<Arc<DatasetEntry>, EngineError> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> DatasetEntry {
+        DatasetEntry::new(
+            name,
+            Dataset::from_rows(vec![vec![0.5, 0.5]; 10]).unwrap(),
+            GridDomain::unit_cube(2, 1 << 8).unwrap(),
+            PrivacyParams::new(1.0, 1e-6).unwrap(),
+            CompositionMode::Basic,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registration_is_write_once() {
+        let registry = DatasetRegistry::new();
+        assert!(registry.is_empty());
+        registry.register(entry("a")).unwrap();
+        registry.register(entry("b")).unwrap();
+        assert!(matches!(
+            registry.register(entry("a")),
+            Err(EngineError::DatasetExists(_))
+        ));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+        let got = registry.get("a").unwrap();
+        assert_eq!(got.name(), "a");
+        assert_eq!(got.dataset().len(), 10);
+        assert_eq!(got.domain().dim(), 2);
+        assert!(matches!(
+            registry.get("missing"),
+            Err(EngineError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn entry_validates_dimensions() {
+        let err = DatasetEntry::new(
+            "bad",
+            Dataset::from_rows(vec![vec![0.5; 3]; 5]).unwrap(),
+            GridDomain::unit_cube(2, 1 << 8).unwrap(),
+            PrivacyParams::new(1.0, 1e-6).unwrap(),
+            CompositionMode::Basic,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn accountant_is_shared_through_the_entry() {
+        let registry = DatasetRegistry::new();
+        let e = registry.register(entry("a")).unwrap();
+        e.accountant()
+            .try_charge("q", PrivacyParams::new(0.5, 1e-7).unwrap())
+            .unwrap();
+        // Visible through a fresh lookup: the entry is shared, not cloned.
+        assert_eq!(registry.get("a").unwrap().accountant().granted(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Small helpers for building and picking apart the vendored serde
+//! [`Value`] tree, shared by the query types and the JSON-lines protocol.
+
+use crate::error::EngineError;
+use serde::Value;
+
+/// Builds a JSON object from `(key, value)` pairs, preserving order.
+pub(crate) fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A number value.
+pub(crate) fn num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+/// A string value.
+pub(crate) fn s(x: impl Into<String>) -> Value {
+    Value::String(x.into())
+}
+
+/// An array of numbers (used for point coordinates).
+pub(crate) fn num_array(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&x| Value::Number(x)).collect())
+}
+
+/// Looks up `key` in an object value.
+pub(crate) fn get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// A required field of any type.
+pub(crate) fn req<'a>(value: &'a Value, key: &str) -> Result<&'a Value, EngineError> {
+    get(value, key).ok_or_else(|| EngineError::Protocol(format!("missing field `{key}`")))
+}
+
+/// A required string field.
+pub(crate) fn req_str(value: &Value, key: &str) -> Result<String, EngineError> {
+    req(value, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| EngineError::Protocol(format!("field `{key}` must be a string")))
+}
+
+/// A required number field.
+pub(crate) fn req_f64(value: &Value, key: &str) -> Result<f64, EngineError> {
+    req(value, key)?
+        .as_f64()
+        .ok_or_else(|| EngineError::Protocol(format!("field `{key}` must be a number")))
+}
+
+/// A required non-negative integer field. Values at or above 2^53 are
+/// rejected: the JSON layer carries numbers as f64, and 2^53 is the first
+/// integer onto which distinct neighbours (2^53 ± 1) collapse — accepting
+/// it would silently run a different seed (and collide cache keys) than
+/// the client asked for.
+pub(crate) fn req_u64(value: &Value, key: &str) -> Result<u64, EngineError> {
+    let x = req_f64(value, key)?;
+    const FIRST_INEXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x < 0.0 || x.fract() != 0.0 || x >= FIRST_INEXACT {
+        return Err(EngineError::Protocol(format!(
+            "field `{key}` must be an integer in [0, 2^53), got {x}"
+        )));
+    }
+    Ok(x as u64)
+}
+
+/// A required `usize` field.
+pub(crate) fn req_usize(value: &Value, key: &str) -> Result<usize, EngineError> {
+    Ok(req_u64(value, key)? as usize)
+}
+
+/// An optional number field.
+pub(crate) fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, EngineError> {
+    match get(value, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| EngineError::Protocol(format!("field `{key}` must be a number"))),
+    }
+}
+
+/// An optional bool field, defaulting to `false`.
+pub(crate) fn opt_bool(value: &Value, key: &str) -> Result<bool, EngineError> {
+    match get(value, key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(EngineError::Protocol(format!(
+            "field `{key}` must be a bool"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_accessors() {
+        let v: Value =
+            serde_json::from_str(r#"{"name":"a","n":3,"x":0.5,"flag":true,"nothing":null}"#)
+                .unwrap();
+        assert_eq!(req_str(&v, "name").unwrap(), "a");
+        assert_eq!(req_u64(&v, "n").unwrap(), 3);
+        assert_eq!(req_usize(&v, "n").unwrap(), 3);
+        assert!((req_f64(&v, "x").unwrap() - 0.5).abs() < 1e-15);
+        assert!(opt_bool(&v, "flag").unwrap());
+        assert!(!opt_bool(&v, "missing").unwrap());
+        assert_eq!(opt_f64(&v, "nothing").unwrap(), None);
+        assert_eq!(opt_f64(&v, "x").unwrap(), Some(0.5));
+        assert!(req(&v, "absent").is_err());
+        assert!(req_str(&v, "n").is_err());
+        assert!(req_u64(&v, "x").is_err());
+        // Integers at or above 2^53 lose neighbours in the f64-backed JSON
+        // layer (2^53+1 parses equal to 2^53) and are rejected rather than
+        // silently collapsed.
+        for too_big in ["9007199254740994", "9007199254740993", "9007199254740992"] {
+            let v: Value = serde_json::from_str(&format!("{{\"seed\":{too_big}}}")).unwrap();
+            assert!(req_u64(&v, "seed").is_err(), "accepted {too_big}");
+        }
+        let edge: Value = serde_json::from_str(r#"{"seed":9007199254740991}"#).unwrap();
+        assert_eq!(req_u64(&edge, "seed").unwrap(), 9007199254740991);
+        assert!(req_f64(&v, "name").is_err());
+        assert!(opt_bool(&v, "n").is_err());
+        assert!(opt_f64(&v, "name").is_err());
+    }
+
+    #[test]
+    fn builders_round_trip() {
+        let v = obj(vec![
+            ("a", num(1.0)),
+            ("b", s("x")),
+            ("c", num_array(&[1.0, 2.0])),
+        ]);
+        assert_eq!(
+            serde_json::to_string(&v).unwrap(),
+            r#"{"a":1,"b":"x","c":[1,2]}"#
+        );
+    }
+}

@@ -354,8 +354,8 @@ mod tests {
         // as the example describes.
         let t = 6usize;
         let mut rows = vec![vec![1.0]];
-        rows.extend(std::iter::repeat(vec![0.0]).take(t / 2));
-        rows.extend(std::iter::repeat(vec![2.0]).take(t / 2));
+        rows.extend(std::iter::repeat_n(vec![0.0], t / 2));
+        rows.extend(std::iter::repeat_n(vec![2.0], t / 2));
         let data = Dataset::from_rows(rows).unwrap();
         let bc = BallCounter::new(&data, t);
         assert_eq!(bc.count(0, 1.0), t + 1); // ball around e1 sees everything

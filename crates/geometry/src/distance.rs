@@ -197,7 +197,7 @@ mod tests {
         .unwrap();
         let dm = DistanceMatrix::build(&data);
         for i in 0..data.len() {
-            for r in [0.0, 0.5, 0.70710678, 1.0, 2.0, 5.0] {
+            for r in [0.0, 0.5, std::f64::consts::FRAC_1_SQRT_2, 1.0, 2.0, 5.0] {
                 let naive = data
                     .iter()
                     .filter(|p| data.point(i).distance(p) <= r + 1e-12)

@@ -122,7 +122,7 @@ mod tests {
     fn paper_target_dim_is_capped_by_source() {
         assert_eq!(JlTransform::paper_target_dim(1000, 0.1, 8), 8);
         let k = JlTransform::paper_target_dim(1000, 0.1, 4096);
-        assert!(k >= 400 && k <= 500, "k = {k}");
+        assert!((400..=500).contains(&k), "k = {k}");
     }
 
     #[test]

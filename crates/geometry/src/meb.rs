@@ -43,9 +43,12 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            let target = &mut rest[0];
+            let factor = target[col] / pivot_row[col];
+            for (t, p) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= factor * p;
             }
             b[row] -= factor * b[col];
         }
@@ -178,14 +181,13 @@ pub fn exhaustive_smallest_ball(data: &Dataset, t: usize) -> Result<Ball, Geomet
 
     let mut best: Option<Ball> = None;
     let mut consider = |ball: Ball| {
-        if data.count_in_ball(&ball) >= t {
-            if best
+        if data.count_in_ball(&ball) >= t
+            && best
                 .as_ref()
                 .map(|b| ball.radius() < b.radius())
                 .unwrap_or(true)
-            {
-                best = Some(ball);
-            }
+        {
+            best = Some(ball);
         }
     };
 

@@ -34,6 +34,7 @@ pub struct IntPointOutcome {
 /// `(X, inner_n, t)` and radius factor `w`. The total privacy cost is
 /// `2×` the budget passed to each stage (Theorem 5.3's `(2ε, 2δ)`), which is
 /// how `privacy` is split here: each half goes to one stage.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's parameter list
 pub fn int_point<R: Rng + ?Sized>(
     instance: &InteriorPointInstance,
     domain: &GridDomain,

@@ -91,7 +91,7 @@ pub fn fmt_num(x: f64) -> String {
         return "0".into();
     }
     let a = x.abs();
-    if a >= 1000.0 || a < 0.001 {
+    if !(0.001..1000.0).contains(&a) {
         format!("{x:.2e}")
     } else if a >= 10.0 {
         format!("{x:.1}")
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn number_formatting() {
         assert_eq!(fmt_num(0.0), "0");
-        assert_eq!(fmt_num(3.14159), "3.142");
+        assert_eq!(fmt_num(std::f64::consts::PI), "3.142");
         assert_eq!(fmt_num(42.42), "42.4");
         assert_eq!(fmt_num(123456.0), "1.23e5");
         assert_eq!(fmt_num(0.00001), "1.00e-5");

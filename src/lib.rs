@@ -15,7 +15,11 @@
 //! * [`agg`] — sample and aggregate (Section 6);
 //! * [`lowerbound`] — the Section-5 impossibility machinery;
 //! * [`datagen`] — synthetic workloads;
-//! * [`report`] — experiment-output helpers.
+//! * [`report`] — experiment-output helpers;
+//! * [`engine`] — the long-lived query engine: registered datasets, a
+//!   budget accountant enforcing composition across adaptive queries, a
+//!   result cache, a worker pool, and a JSON-lines service front-end (the
+//!   `serve` binary).
 //!
 //! # Quick start
 //!
@@ -44,6 +48,7 @@ pub use privcluster_baselines as baselines;
 pub use privcluster_core as core;
 pub use privcluster_datagen as datagen;
 pub use privcluster_dp as dp;
+pub use privcluster_engine as engine;
 pub use privcluster_geometry as geometry;
 pub use privcluster_lowerbound as lowerbound;
 pub use privcluster_report as report;
@@ -59,6 +64,8 @@ pub mod prelude {
     pub use privcluster_datagen::{
         gaussian_mixture, geo_hotspots, inliers_with_outliers, planted_ball_cluster,
     };
+    pub use privcluster_dp::composition::CompositionMode;
     pub use privcluster_dp::PrivacyParams;
+    pub use privcluster_engine::{Engine, EngineConfig, Query, QueryRequest};
     pub use privcluster_geometry::{Ball, Dataset, GridDomain, Point};
 }

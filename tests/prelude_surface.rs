@@ -67,6 +67,16 @@ fn prelude_exposes_every_promised_name() {
     // privcluster_baselines
     fn assert_solver<S: OneClusterSolver>(_: &S) {}
     assert_solver(&PrivClusterSolver::default());
+
+    // privcluster_engine
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 4,
+    });
+    assert!(engine.dataset_names().is_empty());
+    let _request_type_is_public = |r: QueryRequest| r;
+    let _ = Query::GoodRadius { t: 1, beta: 0.1 };
+    let _ = CompositionMode::Basic;
 }
 
 /// The facade's module re-exports (used by the integration tests and the
@@ -76,9 +86,10 @@ fn facade_modules_are_reachable() {
     let _ = privcluster::core::ClusterError::InvalidParameter("x".into());
     let _ = privcluster::dp::util::log_star(16.0);
     let _ = privcluster::geometry::GeometryError::InvalidParameter("x".into());
-    let _ = privcluster::baselines::NonPrivateTwoApprox::default();
+    let _ = privcluster::baselines::NonPrivateTwoApprox;
     let _ = privcluster::lowerbound::InteriorPointInstance::two_camps(4, 0.1, 0.9);
     let _ = privcluster::datagen::Workload::Uniform;
     let _ = privcluster::report::Summary::of(&[1.0, 2.0]).unwrap();
     let _ = privcluster::agg::MedianAnalysis;
+    let _ = privcluster::engine::EngineError::UnknownDataset("x".into());
 }

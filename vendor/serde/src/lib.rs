@@ -235,3 +235,15 @@ impl<T: Serialize + ?Sized> Serialize for &T {
         (**self).to_json_value()
     }
 }
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}
