@@ -1,8 +1,14 @@
-//! Engine batch throughput (queries/sec) at 1, 2, and 4 worker threads.
+//! Engine batch throughput (queries/sec) at 1, 2, and 4 worker threads,
+//! plus the repeated-query scenario the shared per-dataset geometry index
+//! exists for.
 //!
-//! The workload is a batch of 8 seeded GoodRadius queries against one
-//! registered dataset; each bench iteration builds a fresh engine so cache
-//! hits and budget exhaustion cannot leak across iterations.
+//! The batch workload is 8 seeded GoodRadius queries against one registered
+//! dataset; each bench iteration builds a fresh engine so cache hits and
+//! budget exhaustion cannot leak across iterations. The repeated-query
+//! group then contrasts that per-iteration `O(n² d)` setup cost with a
+//! long-lived engine whose index was built once at registration: fresh
+//! seeds defeat the result cache, so the difference is purely the
+//! `DistanceMatrix`/`LProfile` rebuild the index removes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privcluster_datagen::planted_ball_cluster;
@@ -44,8 +50,8 @@ fn fresh_engine(threads: usize) -> Engine {
     engine
 }
 
-fn workload() -> Vec<QueryRequest> {
-    (0..BATCH as u64)
+fn workload_from(first_seed: u64) -> Vec<QueryRequest> {
+    (first_seed..first_seed + BATCH as u64)
         .map(|seed| QueryRequest {
             dataset: "bench".into(),
             seed,
@@ -53,6 +59,10 @@ fn workload() -> Vec<QueryRequest> {
             query: Query::GoodRadius { t: 250, beta: 0.1 },
         })
         .collect()
+}
+
+fn workload() -> Vec<QueryRequest> {
+    workload_from(0)
 }
 
 fn bench_engine_throughput(c: &mut Criterion) {
@@ -75,9 +85,44 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Repeated queries against one registered dataset: `rebuild_per_batch`
+/// registers a fresh dataset every iteration (paying the `O(n² d)` index
+/// build each time — the old per-query cost model), `shared_index` reuses
+/// one long-lived engine whose index was built once. Fresh, never-repeated
+/// seeds keep the result cache out of the picture in both arms.
+fn bench_engine_repeated_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_repeated_8_queries");
+
+    group.bench_function("rebuild_per_batch", |b| {
+        let mut next_seed = 0u64;
+        b.iter(|| {
+            let engine = fresh_engine(1);
+            let requests = workload_from(next_seed);
+            next_seed += BATCH as u64;
+            let out = engine.run_batch(&requests);
+            assert!(out.iter().all(|r| r.is_ok()));
+            out.len()
+        })
+    });
+
+    group.bench_function("shared_index", |b| {
+        let engine = fresh_engine(1);
+        let mut next_seed = 0u64;
+        b.iter(|| {
+            let requests = workload_from(next_seed);
+            next_seed += BATCH as u64;
+            let out = engine.run_batch(&requests);
+            assert!(out.iter().all(|r| r.is_ok()));
+            out.len()
+        })
+    });
+
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_engine_throughput
+    targets = bench_engine_throughput, bench_engine_repeated_queries
 }
 criterion_main!(benches);

@@ -29,8 +29,9 @@ use privcluster_dp::quasiconcave::{solve_quasiconcave, QcSolverConfig, QualityOr
 use privcluster_dp::sampling::laplace;
 use privcluster_dp::PrivacyParams;
 use privcluster_geometry::ball_count::LProfile;
-use privcluster_geometry::{BallCounter, Dataset, GridDomain};
+use privcluster_geometry::{BallCounter, Dataset, GeometryIndex, GridDomain};
 use rand::Rng;
+use std::sync::Arc;
 
 /// The result of a GoodRadius run.
 #[derive(Debug, Clone)]
@@ -101,6 +102,10 @@ impl QualityOracle for RadiusQuality<'_> {
 /// Runs Algorithm 1 on `data` with target cluster size `t`, privacy budget
 /// `privacy` (consumed entirely by this call), failure probability `beta`,
 /// and the given search strategy.
+///
+/// Builds the `O(n² d)` pairwise-distance structure from scratch; callers
+/// answering repeated queries against the same dataset should build a
+/// [`GeometryIndex`] once and use [`good_radius_with_index`] instead.
 pub fn good_radius<R: Rng + ?Sized>(
     data: &Dataset,
     domain: &GridDomain,
@@ -110,6 +115,50 @@ pub fn good_radius<R: Rng + ?Sized>(
     config: &GoodRadiusConfig,
     rng: &mut R,
 ) -> Result<GoodRadiusOutcome, ClusterError> {
+    good_radius_inner(data, domain, t, privacy, beta, config, None, rng)
+}
+
+/// [`good_radius`] against a prebuilt, shareable [`GeometryIndex`] of
+/// `data`: the `O(n² d)` distance work is skipped and the `L(·, S)` profile
+/// for this `t` is reused if already cached (bit-identical results either
+/// way). The index must have been built from exactly this dataset.
+#[allow(clippy::too_many_arguments)]
+pub fn good_radius_with_index<R: Rng + ?Sized>(
+    data: &Dataset,
+    domain: &GridDomain,
+    t: usize,
+    privacy: PrivacyParams,
+    beta: f64,
+    config: &GoodRadiusConfig,
+    index: &GeometryIndex,
+    rng: &mut R,
+) -> Result<GoodRadiusOutcome, ClusterError> {
+    good_radius_inner(data, domain, t, privacy, beta, config, Some(index), rng)
+}
+
+/// Validates parameters *before* touching (or building) any `O(n²)`
+/// geometry, then runs the algorithm against the shared index when one was
+/// supplied and a freshly built profile otherwise.
+#[allow(clippy::too_many_arguments)]
+fn good_radius_inner<R: Rng + ?Sized>(
+    data: &Dataset,
+    domain: &GridDomain,
+    t: usize,
+    privacy: PrivacyParams,
+    beta: f64,
+    config: &GoodRadiusConfig,
+    index: Option<&GeometryIndex>,
+    rng: &mut R,
+) -> Result<GoodRadiusOutcome, ClusterError> {
+    if let Some(index) = index {
+        if index.len() != data.len() {
+            return Err(ClusterError::InvalidParameter(format!(
+                "geometry index covers {} points but the dataset has {}",
+                index.len(),
+                data.len()
+            )));
+        }
+    }
     if data.dim() != domain.dim() {
         return Err(ClusterError::InvalidParameter(format!(
             "data dimension {} does not match domain dimension {}",
@@ -141,9 +190,13 @@ pub fn good_radius<R: Rng + ?Sized>(
     let grid_len = domain.radius_grid_len();
     diagnostics.metric("radius_grid_len", grid_len as f64);
 
-    // Precompute L at all breakpoints once (O(n² log² n)).
-    let counter = BallCounter::new(data, t);
-    let profile = counter.l_profile();
+    // L at all breakpoints. With a shared index: O(n² log² n) on the first
+    // use of this cap, a cache lookup on every later query. Without one:
+    // built from scratch, exactly as before the index existed.
+    let profile: Arc<LProfile> = match index {
+        Some(index) => index.l_profile(t),
+        None => Arc::new(BallCounter::new(data, t).l_profile()),
+    };
 
     // The quality promise the configured solver needs.
     let solver_cfg = QcSolverConfig::new(eps / 2.0, delta, config.alpha, beta / 2.0)?;
@@ -406,6 +459,59 @@ mod tests {
             out.radius
         );
         assert!(out.diagnostics.metric_value("radius").is_some());
+    }
+
+    #[test]
+    fn with_index_is_bit_identical_to_rebuild_at_any_thread_count() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
+        let t = 200;
+        let inst = planted_ball_cluster(&domain, 400, t, 0.02, &mut rng);
+        let cfg = GoodRadiusConfig::default();
+        let privacy = default_privacy();
+        let baseline = {
+            let mut rng = StdRng::seed_from_u64(99);
+            good_radius(&inst.data, &domain, t, privacy, 0.1, &cfg, &mut rng).unwrap()
+        };
+        for threads in [1usize, 2, 4] {
+            let index = GeometryIndex::build(&inst.data, threads);
+            // Ask twice: the second call must reuse the cached profile and
+            // still match bit-for-bit.
+            for _ in 0..2 {
+                let mut rng = StdRng::seed_from_u64(99);
+                let out = good_radius_with_index(
+                    &inst.data, &domain, t, privacy, 0.1, &cfg, &index, &mut rng,
+                )
+                .unwrap();
+                assert_eq!(
+                    out.radius.to_bits(),
+                    baseline.radius.to_bits(),
+                    "index at {threads} threads diverged from per-query rebuild"
+                );
+                assert_eq!(out.degenerate_zero, baseline.degenerate_zero);
+            }
+            assert_eq!(index.cached_profiles(), 1);
+        }
+    }
+
+    #[test]
+    fn with_index_rejects_a_mismatched_index() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+        let data = Dataset::from_rows(vec![vec![0.1, 0.1]; 20]).unwrap();
+        let other = Dataset::from_rows(vec![vec![0.2, 0.2]; 7]).unwrap();
+        let index = GeometryIndex::build(&other, 1);
+        assert!(good_radius_with_index(
+            &data,
+            &domain,
+            5,
+            default_privacy(),
+            0.1,
+            &GoodRadiusConfig::default(),
+            &index,
+            &mut rng,
+        )
+        .is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use crate::config::OneClusterParams;
 use crate::diagnostics::Diagnostics;
 use crate::error::ClusterError;
-use crate::one_cluster::one_cluster;
-use privcluster_geometry::{Ball, Dataset};
+use crate::one_cluster::{one_cluster, one_cluster_with_index};
+use privcluster_geometry::{tol, Ball, Dataset, GeometryIndex};
 use rand::Rng;
 
 /// The result of the iterated heuristic.
@@ -38,11 +38,12 @@ impl KClusterOutcome {
     /// distance per ball.
     pub fn covered_count(&self, data: &Dataset) -> usize {
         // Precompute squared radii with the same boundary tolerance as
-        // `Ball::contains` so the two agree point-for-point.
+        // `Ball::contains` (the shared `tol` definition) so the two agree
+        // point-for-point.
         let thresholds: Vec<(&Ball, f64)> = self
             .balls
             .iter()
-            .map(|b| (b, b.radius() * b.radius() * (1.0 + 1e-12) + 1e-24))
+            .map(|b| (b, tol::ball_threshold_sq(b.radius() * b.radius())))
             .collect();
         data.iter()
             .filter(|p| {
@@ -80,6 +81,34 @@ pub fn k_cluster<R: Rng + ?Sized>(
     params: &OneClusterParams,
     rng: &mut R,
 ) -> Result<KClusterOutcome, ClusterError> {
+    k_cluster_inner(data, k, params, None, rng)
+}
+
+/// [`k_cluster`] against a prebuilt, shareable [`GeometryIndex`] of `data`.
+///
+/// Only the first round can reuse the index: every later round runs on the
+/// *uncovered remainder*, a different dataset for which the index is
+/// invalid, so those rounds rebuild as before. The first round is the one
+/// over the full `n` points — exactly the most expensive rebuild this
+/// saves. Results are bit-identical to [`k_cluster`] for the same RNG
+/// stream.
+pub fn k_cluster_with_index<R: Rng + ?Sized>(
+    data: &Dataset,
+    k: usize,
+    params: &OneClusterParams,
+    index: &GeometryIndex,
+    rng: &mut R,
+) -> Result<KClusterOutcome, ClusterError> {
+    k_cluster_inner(data, k, params, Some(index), rng)
+}
+
+fn k_cluster_inner<R: Rng + ?Sized>(
+    data: &Dataset,
+    k: usize,
+    params: &OneClusterParams,
+    index: Option<&GeometryIndex>,
+    rng: &mut R,
+) -> Result<KClusterOutcome, ClusterError> {
     if k == 0 {
         return Err(ClusterError::InvalidParameter(
             "k must be at least 1".into(),
@@ -105,7 +134,13 @@ pub fn k_cluster<R: Rng + ?Sized>(
             completed = false;
             break;
         }
-        match one_cluster(&remaining, &per_round, rng) {
+        // The shared index describes the full dataset, which is exactly the
+        // round-0 input; later rounds see a filtered remainder and rebuild.
+        let round_result = match index {
+            Some(index) if round == 0 => one_cluster_with_index(&remaining, &per_round, index, rng),
+            _ => one_cluster(&remaining, &per_round, rng),
+        };
+        match round_result {
             Ok(out) => {
                 diagnostics.absorb(&format!("round{round}"), out.diagnostics);
                 diagnostics.metric(format!("round{round}.radius"), out.ball.radius());

@@ -46,8 +46,8 @@ pub use config::{
 pub use diagnostics::Diagnostics;
 pub use error::ClusterError;
 pub use good_center::{good_center, GoodCenterOutcome};
-pub use good_radius::{good_radius, GoodRadiusOutcome};
+pub use good_radius::{good_radius, good_radius_with_index, GoodRadiusOutcome};
 pub use guarantees::TheoreticalGuarantees;
-pub use kcluster::{k_cluster, KClusterOutcome};
-pub use one_cluster::{one_cluster, OneClusterOutcome};
+pub use kcluster::{k_cluster, k_cluster_with_index, KClusterOutcome};
+pub use one_cluster::{one_cluster, one_cluster_with_index, OneClusterOutcome};
 pub use outliers::{screened_noisy_mean, OutlierScreen};

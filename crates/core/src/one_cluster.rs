@@ -5,9 +5,9 @@ use crate::config::OneClusterParams;
 use crate::diagnostics::Diagnostics;
 use crate::error::ClusterError;
 use crate::good_center::good_center;
-use crate::good_radius::good_radius;
+use crate::good_radius::{good_radius, good_radius_with_index};
 use crate::guarantees::TheoreticalGuarantees;
-use privcluster_geometry::{Ball, Dataset};
+use privcluster_geometry::{Ball, Dataset, GeometryIndex};
 use rand::Rng;
 
 /// The result of a full 1-cluster solve.
@@ -37,6 +37,28 @@ pub fn one_cluster<R: Rng + ?Sized>(
     params: &OneClusterParams,
     rng: &mut R,
 ) -> Result<OneClusterOutcome, ClusterError> {
+    one_cluster_inner(data, params, None, rng)
+}
+
+/// [`one_cluster`] against a prebuilt, shareable [`GeometryIndex`] of
+/// `data`: the GoodRadius stage reuses the index instead of rebuilding the
+/// `O(n² d)` pairwise-distance structure (GoodCenter never needed it).
+/// Results are bit-identical to [`one_cluster`] for the same RNG stream.
+pub fn one_cluster_with_index<R: Rng + ?Sized>(
+    data: &Dataset,
+    params: &OneClusterParams,
+    index: &GeometryIndex,
+    rng: &mut R,
+) -> Result<OneClusterOutcome, ClusterError> {
+    one_cluster_inner(data, params, Some(index), rng)
+}
+
+fn one_cluster_inner<R: Rng + ?Sized>(
+    data: &Dataset,
+    params: &OneClusterParams,
+    index: Option<&GeometryIndex>,
+    rng: &mut R,
+) -> Result<OneClusterOutcome, ClusterError> {
     params.validate_against(data.len())?;
     if data.dim() != params.domain.dim() {
         return Err(ClusterError::InvalidParameter(format!(
@@ -64,15 +86,27 @@ pub fn one_cluster<R: Rng + ?Sized>(
     let half_beta = params.beta / 2.0;
 
     // Stage 1: radius.
-    let radius_out = good_radius(
-        data,
-        &params.domain,
-        params.t,
-        half,
-        half_beta,
-        &params.radius_config,
-        rng,
-    )?;
+    let radius_out = match index {
+        Some(index) => good_radius_with_index(
+            data,
+            &params.domain,
+            params.t,
+            half,
+            half_beta,
+            &params.radius_config,
+            index,
+            rng,
+        )?,
+        None => good_radius(
+            data,
+            &params.domain,
+            params.t,
+            half,
+            half_beta,
+            &params.radius_config,
+            rng,
+        )?,
+    };
     let radius_estimate = radius_out.radius;
     let radius_loss = radius_out.loss_bound;
     diagnostics.absorb("good_radius", radius_out.diagnostics);
@@ -167,6 +201,37 @@ mod tests {
         assert!(out.loss_bound > 0.0);
         assert!(out.guarantees.gamma_used > 0.0);
         assert!(out.diagnostics.metric_value("final_radius").is_some());
+    }
+
+    #[test]
+    fn with_index_is_bit_identical_to_rebuild() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let domain = GridDomain::unit_cube(2, 1 << 12).unwrap();
+        let t = 400;
+        let inst = planted_ball_cluster(&domain, 800, t, 0.02, &mut rng);
+        let params = standard_params(GridDomain::unit_cube(2, 1 << 12).unwrap(), t);
+        let baseline = {
+            let mut rng = StdRng::seed_from_u64(77);
+            one_cluster(&inst.data, &params, &mut rng).unwrap()
+        };
+        for threads in [1usize, 2, 4] {
+            let index = privcluster_geometry::GeometryIndex::build(&inst.data, threads);
+            let mut rng = StdRng::seed_from_u64(77);
+            let out = one_cluster_with_index(&inst.data, &params, &index, &mut rng).unwrap();
+            assert_eq!(
+                out.ball.radius().to_bits(),
+                baseline.ball.radius().to_bits(),
+                "index at {threads} threads diverged from per-query rebuild"
+            );
+            let bits = |p: &privcluster_geometry::Point| {
+                p.coords().iter().map(|c| c.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(bits(out.ball.center()), bits(baseline.ball.center()));
+            assert_eq!(
+                out.radius_estimate.to_bits(),
+                baseline.radius_estimate.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -10,14 +10,25 @@
 //! [`QueryRequest::cache_key`]: crate::query::QueryRequest::cache_key
 
 use crate::query::QueryValue;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// A bounded least-recently-used map from cache keys to released results.
+///
+/// Recency is tracked by a strictly increasing tick; a `BTreeMap` from tick
+/// to key mirrors the entries so the LRU victim is `pop_first()` —
+/// `O(log n)` — instead of the full-map scan the cache used to do on every
+/// insert at capacity. Keys are serialized whole requests (easily hundreds
+/// of bytes), so the two maps share each key as one `Arc<str>` rather than
+/// duplicating it, and the hit path never allocates.
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<String, Slot>,
+    entries: HashMap<Arc<str>, Slot>,
+    /// `last_used → key` for every entry (ticks are unique, so this is a
+    /// faithful mirror: `entries.len() == recency.len()` always).
+    recency: BTreeMap<u64, Arc<str>>,
     hits: u64,
     misses: u64,
 }
@@ -36,16 +47,21 @@ impl ResultCache {
             capacity,
             tick: 0,
             entries: HashMap::new(),
+            recency: BTreeMap::new(),
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Looks up a key, refreshing its recency on a hit.
+    /// Looks up a key, refreshing its recency on a hit. Allocation-free.
     pub fn get(&mut self, key: &str) -> Option<QueryValue> {
         self.tick += 1;
         match self.entries.get_mut(key) {
             Some(slot) => {
+                // Move the shared key to its new recency stamp.
+                if let Some(shared) = self.recency.remove(&slot.last_used) {
+                    self.recency.insert(self.tick, shared);
+                }
                 slot.last_used = self.tick;
                 self.hits += 1;
                 Some(slot.value.clone())
@@ -58,22 +74,22 @@ impl ResultCache {
     }
 
     /// Inserts a released result, evicting the least-recently-used entry
-    /// when at capacity.
+    /// when at capacity. `O(log n)`.
     pub fn insert(&mut self, key: String, value: QueryValue) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            if let Some(oldest) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, slot)| slot.last_used)
-                .map(|(k, _)| k.clone())
-            {
+        let key: Arc<str> = key.into();
+        if let Some(existing) = self.entries.get(&key) {
+            // Refresh in place: drop the old recency stamp only.
+            self.recency.remove(&existing.last_used);
+        } else if self.entries.len() >= self.capacity {
+            if let Some((_, oldest)) = self.recency.pop_first() {
                 self.entries.remove(&oldest);
             }
         }
+        self.recency.insert(self.tick, Arc::clone(&key));
         self.entries.insert(
             key,
             Slot {
@@ -146,5 +162,56 @@ mod tests {
         cache.insert("a".into(), value(1.0));
         assert!(cache.is_empty());
         assert_eq!(cache.get("a"), None);
+    }
+
+    #[test]
+    fn recency_index_matches_a_naive_lru_model() {
+        // Drive the cache with a deterministic mixed get/insert workload and
+        // check every step against a brute-force LRU model.
+        let capacity = 8usize;
+        let mut cache = ResultCache::new(capacity);
+        // model: (key, value) most-recently-used LAST.
+        let mut model: Vec<(String, f64)> = Vec::new();
+        let touch = |model: &mut Vec<(String, f64)>, key: &str| {
+            if let Some(pos) = model.iter().position(|(k, _)| k == key) {
+                let entry = model.remove(pos);
+                model.push(entry);
+                true
+            } else {
+                false
+            }
+        };
+        let mut state = 0x243F_6A88_85A3_08D3u64; // deterministic LCG
+        for step in 0..2_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = format!("k{}", state % 24); // 24 keys > capacity: evictions happen
+            if state & 1 == 0 {
+                let v = step as f64;
+                if !touch(&mut model, &key) {
+                    if model.len() >= capacity {
+                        model.remove(0); // evict LRU
+                    }
+                    model.push((key.clone(), v));
+                } else {
+                    model.last_mut().unwrap().1 = v;
+                }
+                cache.insert(key, value(v));
+            } else {
+                let hit = cache.get(&key);
+                let model_hit = touch(&mut model, &key);
+                assert_eq!(hit.is_some(), model_hit, "step {step}, key {key}");
+                if let Some(got) = hit {
+                    assert_eq!(got, value(model.last().unwrap().1));
+                }
+            }
+            assert_eq!(cache.len(), model.len());
+            assert_eq!(cache.entries.len(), cache.recency.len(), "mirror invariant");
+        }
+        // Final contents agree exactly.
+        for (k, v) in &model {
+            assert_eq!(cache.get(k), Some(value(*v)));
+        }
     }
 }

@@ -125,6 +125,13 @@ impl Engine {
 
     /// Registers an immutable dataset under `name` with a total privacy
     /// budget and a composition theorem. Names are write-once.
+    ///
+    /// Registration also builds the dataset's shared [`GeometryIndex`]
+    /// (`8·n²` bytes, filled with the engine's worker threads), so the
+    /// `O(n² d)` pairwise-distance cost is paid here — once — and **no**
+    /// later query ever rebuilds it.
+    ///
+    /// [`GeometryIndex`]: privcluster_geometry::GeometryIndex
     pub fn register_dataset(
         &self,
         name: impl Into<String>,
@@ -135,6 +142,7 @@ impl Engine {
     ) -> Result<DatasetStatus, EngineError> {
         let entry = DatasetEntry::new(name, dataset, domain, budget, mode)?;
         let entry = self.registry.register(entry)?;
+        entry.geometry_index(self.config.threads.max(1));
         Ok(self.status_of(&entry))
     }
 

@@ -24,7 +24,10 @@ use privcluster_baselines::{
     ExponentialGridSolver, NonPrivateTwoApprox, OneClusterSolver, PrivateAggregationSolver,
     ThresholdReleaseSolver,
 };
-use privcluster_core::{good_radius, k_cluster, one_cluster, GoodRadiusConfig, OneClusterParams};
+use privcluster_core::{
+    good_radius_with_index, k_cluster_with_index, one_cluster_with_index, GoodRadiusConfig,
+    OneClusterParams,
+};
 use privcluster_dp::{LaplaceMechanism, PrivacyParams};
 use privcluster_geometry::Ball;
 use rand::rngs::StdRng;
@@ -244,6 +247,12 @@ fn noisy_count<R: rand::Rng + ?Sized>(
 
 impl Plan {
     /// Executes the plan on its dataset with the query's own RNG stream.
+    ///
+    /// The clustering arms run against the entry's shared [`GeometryIndex`]
+    /// (built at registration, or lazily here on a sequential fallback), so
+    /// repeated queries never redo the `O(n² d)` pairwise-distance work.
+    ///
+    /// [`GeometryIndex`]: privcluster_geometry::GeometryIndex
     pub fn execute(&self, entry: &DatasetEntry, seed: u64) -> Result<QueryValue, EngineError> {
         let data = entry.dataset();
         let domain = entry.domain();
@@ -255,14 +264,18 @@ impl Plan {
                 beta,
                 config,
             } => {
-                let out = good_radius(data, domain, *t, *privacy, *beta, config, &mut rng)?;
+                let index = entry.geometry_index(1);
+                let out = good_radius_with_index(
+                    data, domain, *t, *privacy, *beta, config, &index, &mut rng,
+                )?;
                 Ok(QueryValue::Radius { radius: out.radius })
             }
             Prepared::OneCluster {
                 params,
                 count_epsilon,
             } => {
-                let out = one_cluster(data, params, &mut rng)?;
+                let index = entry.geometry_index(1);
+                let out = one_cluster_with_index(data, params, &index, &mut rng)?;
                 let captured = noisy_count(
                     data.count_in_ball(&out.ball),
                     data.len(),
@@ -276,7 +289,8 @@ impl Plan {
                 params,
                 count_epsilon,
             } => {
-                let out = k_cluster(data, *k, params, &mut rng)?;
+                let index = entry.geometry_index(1);
+                let out = k_cluster_with_index(data, *k, params, &index, &mut rng)?;
                 let covered = noisy_count(
                     out.covered_count(data),
                     data.len(),

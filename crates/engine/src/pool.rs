@@ -1,71 +1,14 @@
-//! A minimal `std::thread` worker pool for independent query jobs.
+//! The engine's worker pool.
 //!
-//! No external dependencies: jobs are drawn from a shared [`Mutex`]-guarded
-//! queue by scoped worker threads and their results are written back into
-//! submission-order slots. Because every engine query carries its own seed
-//! and runs on its own RNG stream, the pool's scheduling order cannot
-//! influence results — parallel execution is bit-identical to sequential
-//! (asserted by the `concurrency_determinism` integration test).
+//! The implementation lives in [`privcluster_geometry::pool`] — the bottom
+//! of the workspace dependency stack — so the engine's batch executor and
+//! the geometry crate's parallel [`DistanceMatrix::build_parallel`] row
+//! fill share one scoped-thread pool. Jobs drain FIFO and results come back
+//! in submission order; because every engine query carries its own seed and
+//! runs on its own RNG stream, scheduling cannot influence results —
+//! parallel execution is bit-identical to sequential (asserted by the
+//! `concurrency_determinism` integration test).
+//!
+//! [`DistanceMatrix::build_parallel`]: privcluster_geometry::DistanceMatrix::build_parallel
 
-use std::sync::Mutex;
-
-/// Runs `jobs` on up to `threads` worker threads and returns their results
-/// in submission order. `threads <= 1` degenerates to an inline loop.
-pub fn run_on_pool<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    if threads <= 1 || jobs.len() <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
-    }
-    let n = jobs.len();
-    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let workers = threads.min(n);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("job queue lock poisoned").pop();
-                match job {
-                    Some((index, job)) => {
-                        let result = job();
-                        *slots[index].lock().expect("result slot lock poisoned") = Some(result);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock poisoned")
-                .expect("worker pool completed without filling every slot")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_come_back_in_submission_order() {
-        let jobs: Vec<_> = (0..50).map(|i| move || i * i).collect();
-        let sequential = run_on_pool(jobs, 1);
-        let jobs: Vec<_> = (0..50).map(|i| move || i * i).collect();
-        let parallel = run_on_pool(jobs, 4);
-        assert_eq!(sequential, parallel);
-        assert_eq!(parallel[7], 49);
-    }
-
-    #[test]
-    fn more_threads_than_jobs_is_fine() {
-        let jobs: Vec<_> = (0..2).map(|i| move || i + 1).collect();
-        assert_eq!(run_on_pool(jobs, 16), vec![1, 2]);
-        let none: Vec<fn() -> i32> = Vec::new();
-        assert!(run_on_pool(none, 4).is_empty());
-    }
-}
+pub use privcluster_geometry::pool::run_on_pool;

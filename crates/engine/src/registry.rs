@@ -12,9 +12,9 @@ use crate::accountant::BudgetAccountant;
 use crate::error::EngineError;
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
-use privcluster_geometry::{Dataset, GridDomain};
+use privcluster_geometry::{Dataset, GeometryIndex, GridDomain};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// One registered dataset.
 #[derive(Debug)]
@@ -23,6 +23,11 @@ pub struct DatasetEntry {
     dataset: Dataset,
     domain: GridDomain,
     accountant: Mutex<BudgetAccountant>,
+    /// The shared per-dataset geometry index (`O(n² d)` pairwise distances
+    /// plus memoised `L` profiles), built once — at registration by the
+    /// engine, or on first use — and reused by every later query. Datasets
+    /// are immutable, so the index can never go stale.
+    index: OnceLock<Arc<GeometryIndex>>,
 }
 
 impl DatasetEntry {
@@ -49,7 +54,24 @@ impl DatasetEntry {
             dataset,
             domain,
             accountant: Mutex::new(accountant),
+            index: OnceLock::new(),
         })
+    }
+
+    /// The entry's shared [`GeometryIndex`], building it with up to
+    /// `threads` workers on first call and returning the cached copy (an
+    /// `O(1)` `Arc` clone) ever after. Builds are bit-identical at any
+    /// thread count, so it does not matter which caller wins the race.
+    pub fn geometry_index(&self, threads: usize) -> Arc<GeometryIndex> {
+        Arc::clone(
+            self.index
+                .get_or_init(|| Arc::new(GeometryIndex::build(&self.dataset, threads))),
+        )
+    }
+
+    /// Whether the geometry index has been built yet (diagnostics/tests).
+    pub fn has_geometry_index(&self) -> bool {
+        self.index.get().is_some()
     }
 
     /// The dataset's registered name.

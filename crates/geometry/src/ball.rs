@@ -7,6 +7,7 @@
 
 use crate::error::GeometryError;
 use crate::point::Point;
+use crate::tol;
 
 /// A closed Euclidean ball `{x : ‖x − center‖₂ ≤ radius}`.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,13 +57,13 @@ impl Ball {
 
     /// Whether the (closed) ball contains `p`.
     ///
-    /// A tiny relative tolerance absorbs floating-point rounding so that
-    /// points lying exactly on the boundary (e.g. the support points returned
-    /// by Welzl's algorithm) are counted as inside.
+    /// The unified tolerance ([`tol::within_radius_sq`]) absorbs
+    /// floating-point rounding so that points lying exactly on the boundary
+    /// (e.g. the support points returned by Welzl's algorithm) are counted
+    /// as inside.
     pub fn contains(&self, p: &Point) -> bool {
         let d2 = self.center.distance_squared(p);
-        let r2 = self.radius * self.radius;
-        d2 <= r2 * (1.0 + 1e-12) + 1e-24
+        tol::within_radius_sq(d2, self.radius * self.radius)
     }
 
     /// Returns a new ball with the same center and radius scaled by `factor`.
@@ -83,12 +84,13 @@ impl Ball {
 
     /// Whether this ball entirely contains `other`.
     pub fn contains_ball(&self, other: &Ball) -> bool {
-        self.center.distance(&other.center) + other.radius <= self.radius * (1.0 + 1e-12) + 1e-12
+        self.center.distance(&other.center) + other.radius
+            <= self.radius * (1.0 + tol::REL) + tol::ABS_COARSE
     }
 
     /// Whether the two balls intersect.
     pub fn intersects(&self, other: &Ball) -> bool {
-        self.center.distance(&other.center) <= self.radius + other.radius + 1e-12
+        self.center.distance(&other.center) <= self.radius + other.radius + tol::ABS_COARSE
     }
 }
 

@@ -17,6 +17,7 @@
 
 use crate::dataset::Dataset;
 use crate::distance::DistanceMatrix;
+use crate::tol;
 
 /// Efficient evaluator for `B_r`, `B̄_r` and `L(r, S)` at many radii.
 #[derive(Debug, Clone)]
@@ -145,8 +146,10 @@ impl BallCounter {
         let mut idx = 0usize;
         while idx < events.len() {
             let d = events[idx].0;
-            // Process every event at (numerically) this distance.
-            while idx < events.len() && events[idx].0 <= d * (1.0 + 1e-12) + 1e-15 {
+            // Process every event at (numerically) this distance — "same"
+            // exactly as `sorted_all_distances`'s dedup defines it, so the
+            // profile's groups and the breakpoint list can never disagree.
+            while idx < events.len() && tol::same_distance(events[idx].0, d) {
                 let i = events[idx].1;
                 if counts[i] < cap {
                     if counts[i] > 0 {
@@ -176,13 +179,18 @@ pub struct LProfile {
 
 impl LProfile {
     /// Evaluates `L(r, S)`.
+    ///
+    /// Exactly equal to `BallCounter::l_value(r)` except when `r` lies
+    /// within the unified tolerance of a merged breakpoint group, where the
+    /// profile returns the group's post-breakpoint value (see the residual-
+    /// ambiguity note in [`crate::tol`]).
     pub fn value_at(&self, r: f64) -> f64 {
         if r < 0.0 || self.breakpoints.is_empty() {
             return 0.0;
         }
         let idx = self
             .breakpoints
-            .partition_point(|&b| b <= r * (1.0 + 1e-12) + 1e-15);
+            .partition_point(|&b| tol::within_radius(b, r));
         if idx == 0 {
             0.0
         } else {

@@ -13,30 +13,97 @@
 //! `L(r, S)` can change value. That set is what lets the exponential
 //! mechanism over the (enormous) radius grid run in `poly(n)` time
 //! (Remark 4.4, and item 2 in DESIGN.md §3).
+//!
+//! Storage is one flat row-major `Vec<f64>` of `n²` entries (`8·n²` bytes)
+//! behind an [`Arc`], so a [`DistanceMatrix`] clones in `O(1)` and can be
+//! shared across threads and cached per dataset (see
+//! [`GeometryIndex`](crate::index::GeometryIndex)). Rows can be filled in
+//! parallel with [`DistanceMatrix::build_parallel`]; each row is computed
+//! and sorted independently, so the result is bit-identical at any thread
+//! count.
 
 use crate::dataset::Dataset;
+use crate::tol;
+use std::sync::Arc;
+
+#[cfg(debug_assertions)]
+static BUILD_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many [`DistanceMatrix`] builds have run in this process. Always 0 in
+/// release builds (the counter only exists under `debug_assertions`); tests
+/// assert on *deltas*, so they stay valid either way. This exists so
+/// integration tests can prove that the engine's shared per-dataset index
+/// really removes the `O(n² d)` rebuild from the repeated-query path.
+pub fn debug_build_count() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        BUILD_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
 
 /// Pairwise Euclidean distances of a dataset with per-row sorted order.
+///
+/// Clones are `O(1)`: the flat `n × n` storage sits behind an [`Arc`].
 #[derive(Debug, Clone)]
 pub struct DistanceMatrix {
     n: usize,
-    /// `sorted_rows[i]` holds the distances from point `i` to all `n` points
-    /// (including itself, distance 0), sorted ascending.
-    sorted_rows: Vec<Vec<f64>>,
+    /// Row-major `n × n` distances; row `i` (`rows[i·n .. (i+1)·n]`) holds
+    /// the distances from point `i` to all `n` points (including itself,
+    /// distance 0), sorted ascending.
+    rows: Arc<Vec<f64>>,
 }
 
 impl DistanceMatrix {
-    /// Builds the matrix in `O(n² d + n² log n)` time.
+    /// Builds the matrix in `O(n² d + n² log n)` time on the calling thread.
     pub fn build(data: &Dataset) -> Self {
+        Self::build_parallel(data, 1)
+    }
+
+    /// Builds the matrix with up to `threads` worker threads sharing the row
+    /// fill. Each row is computed and sorted independently, in place, in the
+    /// final flat buffer — no per-worker staging copies, so peak memory
+    /// stays at the advertised `8·n²` bytes — and the result is
+    /// **bit-identical** to [`DistanceMatrix::build`] at every thread count.
+    pub fn build_parallel(data: &Dataset, threads: usize) -> Self {
+        #[cfg(debug_assertions)]
+        BUILD_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let n = data.len();
         let pts = data.points();
-        let mut sorted_rows = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut row: Vec<f64> = (0..n).map(|j| pts[i].distance(&pts[j])).collect();
+        let fill_row = |i: usize, row: &mut [f64]| {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = pts[i].distance(&pts[j]);
+            }
             row.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
-            sorted_rows.push(row);
+        };
+        let threads = threads.max(1).min(n.max(1));
+        let mut rows = vec![0.0f64; n * n];
+        if threads <= 1 {
+            for (i, row) in rows.chunks_mut(n.max(1)).enumerate() {
+                fill_row(i, row);
+            }
+        } else {
+            // One contiguous block of rows per worker: the scoped threads
+            // write disjoint `chunks_mut` ranges of the final buffer.
+            let per_block = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (block, chunk) in rows.chunks_mut(per_block * n).enumerate() {
+                    let fill_row = &fill_row;
+                    scope.spawn(move || {
+                        for (offset, row) in chunk.chunks_mut(n).enumerate() {
+                            fill_row(block * per_block + offset, row);
+                        }
+                    });
+                }
+            });
         }
-        DistanceMatrix { n, sorted_rows }
+        DistanceMatrix {
+            n,
+            rows: Arc::new(rows),
+        }
     }
 
     /// Number of points.
@@ -52,19 +119,20 @@ impl DistanceMatrix {
     /// The sorted (ascending) distances from point `i` to all points,
     /// including the zero distance to itself.
     pub fn sorted_row(&self, i: usize) -> &[f64] {
-        &self.sorted_rows[i]
+        &self.rows[i * self.n..(i + 1) * self.n]
     }
 
     /// `B_r(x_i)`: how many points (including `x_i` itself) lie within
     /// distance `r` of point `i`. Uses a closed ball, i.e. counts distances
-    /// `≤ r`.
+    /// `≤ r` at the unified tolerance [`tol::within_radius`].
     pub fn count_within(&self, i: usize, r: f64) -> usize {
         if r < 0.0 {
             return 0;
         }
-        // partition_point returns the number of elements strictly less than or
-        // equal via the predicate d <= r (rows are sorted ascending).
-        self.sorted_rows[i].partition_point(|&d| d <= r * (1.0 + 1e-12) + 1e-15)
+        // partition_point over the ascending row counts the distances within
+        // the (tolerance-inflated) closed ball.
+        self.sorted_row(i)
+            .partition_point(|&d| tol::within_radius(d, r))
     }
 
     /// Capped count `B̄_r(x_i) = min(B_r(x_i), cap)` (the paper caps at `t`).
@@ -79,28 +147,22 @@ impl DistanceMatrix {
         if k == 0 || k > self.n {
             return None;
         }
-        Some(self.sorted_rows[i][k - 1])
+        Some(self.sorted_row(i)[k - 1])
     }
 
     /// All pairwise distances (each unordered pair once, plus the `n` zeros
-    /// from the diagonal), sorted ascending. These are the breakpoints of
-    /// every `B_r(x_i)` as a function of `r`.
+    /// from the diagonal), sorted ascending and deduplicated at the unified
+    /// tolerance [`tol::same_distance`] — the same predicate the
+    /// `l_profile` sweep uses to group events, so a pair of distances that
+    /// survives this dedup is never merged there (and vice versa). These are
+    /// the breakpoints of every `B_r(x_i)` as a function of `r`.
     pub fn sorted_all_distances(&self) -> Vec<f64> {
-        let mut all = Vec::with_capacity(self.n * (self.n + 1) / 2);
-        for (i, row) in self.sorted_rows.iter().enumerate() {
-            // row is sorted; to avoid double counting, take only distances to
-            // points with index >= i. We do not have index info after sorting,
-            // so instead reconstruct by taking every entry and halving later
-            // would be wrong for ties. Simplest correct approach: push all
-            // entries and rely on the fact that each unordered pair {i,j}
-            // (i != j) appears exactly twice and each diagonal once; callers
-            // only need the breakpoint *values*, so duplicates are fine after
-            // dedup. We dedup below.
-            let _ = i;
-            all.extend_from_slice(row);
-        }
+        // Each unordered pair {i,j} (i != j) appears exactly twice in the
+        // flat storage and each diagonal zero once; callers only need the
+        // breakpoint *values*, so duplicates are fine after dedup.
+        let mut all: Vec<f64> = self.rows.as_ref().clone();
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        all.dedup_by(|a, b| (*a - *b).abs() <= f64::EPSILON * 4.0 * a.abs().max(1.0));
+        all.dedup_by(|a, b| tol::same_distance(*a, *b));
         all
     }
 
@@ -113,7 +175,7 @@ impl DistanceMatrix {
         }
         let mut best: Option<(usize, f64)> = None;
         for i in 0..self.n {
-            let r = self.sorted_rows[i][t - 1];
+            let r = self.sorted_row(i)[t - 1];
             if best.map(|(_, br)| r < br).unwrap_or(true) {
                 best = Some((i, r));
             }
@@ -204,6 +266,51 @@ mod tests {
                     .count();
                 assert_eq!(dm.count_within(i, r), naive, "i={i}, r={r}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let rows: Vec<Vec<f64>> = (0..37)
+            .map(|i| vec![(i as f64 * 0.731).sin(), (i as f64 * 1.17).cos()])
+            .collect();
+        let data = Dataset::from_rows(rows).unwrap();
+        let sequential = DistanceMatrix::build(&data);
+        for threads in [2usize, 3, 4, 16] {
+            let parallel = DistanceMatrix::build_parallel(&data, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for i in 0..data.len() {
+                let a = sequential.sorted_row(i);
+                let b = parallel.sorted_row(i);
+                assert!(
+                    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "row {i} differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let dm = DistanceMatrix::build(&line_dataset());
+        let copy = dm.clone();
+        assert!(std::ptr::eq(
+            dm.sorted_row(0).as_ptr(),
+            copy.sorted_row(0).as_ptr()
+        ));
+    }
+
+    #[test]
+    fn build_counter_tracks_builds_in_debug() {
+        let before = debug_build_count();
+        let _ = DistanceMatrix::build(&line_dataset());
+        let after = debug_build_count();
+        // Other unit tests build matrices concurrently in this process, so
+        // assert a lower bound on the delta, not equality.
+        if cfg!(debug_assertions) {
+            assert!(after > before);
+        } else {
+            assert_eq!(after, 0);
         }
     }
 }

@@ -17,7 +17,11 @@
 //!   points" (fact 3 in §3 of the paper), and an exhaustive small-case solver
 //!   ([`meb`]);
 //! * pairwise-distance structures that make evaluating the paper's `L(r, S)`
-//!   function cheap for many radii ([`distance`]);
+//!   function cheap for many radii ([`distance`]), and the shareable
+//!   per-dataset [`index::GeometryIndex`] that pays for them once;
+//! * the single tolerance definition every distance comparison goes through
+//!   ([`tol`]), and the scoped-thread worker pool used for parallel matrix
+//!   fills and by the engine's batch executor ([`pool`]);
 //! * the small dense-linear-algebra helpers (Gram–Schmidt, matrix-vector
 //!   products) needed by the above ([`linalg`]).
 //!
@@ -34,12 +38,15 @@ pub mod dataset;
 pub mod distance;
 pub mod domain;
 pub mod error;
+pub mod index;
 pub mod jl;
 pub mod linalg;
 pub mod meb;
 pub mod partition;
 pub mod point;
+pub mod pool;
 pub mod rotation;
+pub mod tol;
 
 pub use ball::Ball;
 pub use ball_count::BallCounter;
@@ -48,6 +55,7 @@ pub use dataset::Dataset;
 pub use distance::DistanceMatrix;
 pub use domain::GridDomain;
 pub use error::GeometryError;
+pub use index::GeometryIndex;
 pub use jl::JlTransform;
 pub use meb::{
     exhaustive_smallest_ball, smallest_ball_two_approx, smallest_interval_1d, welzl_meb,

@@ -1,8 +1,8 @@
 //! Property-based tests of the geometric substrate.
 
 use privcluster_geometry::{
-    smallest_ball_two_approx, welzl_meb, AxisAlignedBox, Ball, BallCounter, BoxPartition, Dataset,
-    DistanceMatrix, JlTransform, OrthonormalBasis, Point,
+    smallest_ball_two_approx, tol, welzl_meb, AxisAlignedBox, Ball, BallCounter, BoxPartition,
+    Dataset, DistanceMatrix, GeometryIndex, JlTransform, OrthonormalBasis, Point,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -11,6 +11,27 @@ use rand::SeedableRng;
 fn dataset(max_n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
     prop::collection::vec(prop::collection::vec(0.0f64..1.0, dim..=dim), 2..max_n)
         .prop_map(|rows| Dataset::from_rows(rows).expect("uniform dimension"))
+}
+
+/// Shifts a positive float by `ulps` representable steps (negative = down).
+fn ulp_shift(x: f64, ulps: i64) -> f64 {
+    assert!(x > 0.0);
+    f64::from_bits((x.to_bits() as i64 + ulps) as u64)
+}
+
+/// Adversarially near-tied 1-d datasets: points at multiples of a base step
+/// `a`, each nudged by a few ulps, so many pairwise distances differ only at
+/// ulp scale — far inside the unified tolerance, which must treat them as
+/// the same breakpoint everywhere.
+fn near_tied_dataset(max_n: usize) -> impl Strategy<Value = Dataset> {
+    (0.1f64..2.0, prop::collection::vec(-3i64..=3, 3..max_n)).prop_map(|(a, jitters)| {
+        let rows: Vec<Vec<f64>> = jitters
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| vec![ulp_shift((i + 1) as f64 * a, j)])
+            .collect();
+        Dataset::from_rows(rows).expect("uniform dimension")
+    })
 }
 
 proptest! {
@@ -158,4 +179,122 @@ proptest! {
             prop_assert!(ball.scaled(factor).contains(&p));
         }
     }
+
+    /// On adversarially near-tied data (pairwise distances differing by a
+    /// few ulps) the precomputed profile agrees with direct evaluation
+    /// *exactly* — the regression the unified tolerance fixes: with
+    /// inconsistent dedup/merge tolerances, ulp-scale ties could land on
+    /// different sides of the two predicates.
+    #[test]
+    fn near_tied_profile_matches_direct_exactly(
+        data in near_tied_dataset(12),
+        cap_sel in 1usize..10,
+        probe_jitter in -3i64..=3,
+    ) {
+        let cap = 1 + cap_sel % data.len();
+        let counter = BallCounter::new(&data, cap);
+        let profile = counter.l_profile();
+        // Probe at every breakpoint, at ulp-perturbed breakpoints, and at
+        // gap midpoints.
+        let mut probes: Vec<f64> = Vec::new();
+        for &b in profile.breakpoints() {
+            probes.push(b);
+            if b > 0.0 {
+                probes.push(ulp_shift(b, probe_jitter));
+            }
+        }
+        for w in profile.breakpoints().windows(2) {
+            probes.push((w[0] + w[1]) / 2.0);
+        }
+        for &r in &probes {
+            let direct = counter.l_value(r);
+            let via_profile = profile.value_at(r);
+            prop_assert!(
+                via_profile.to_bits() == direct.to_bits(),
+                "value_at({r}) = {via_profile} but l_value = {direct}"
+            );
+        }
+    }
+
+    /// The profile's breakpoint grouping and `sorted_all_distances`'s dedup
+    /// use the same predicate, so they must produce the *same* breakpoints —
+    /// a pair of distances that survives dedup is never merged by the
+    /// profile sweep, and vice versa.
+    #[test]
+    fn profile_breakpoints_agree_with_dedup(data in near_tied_dataset(12), cap_sel in 1usize..6) {
+        let cap = 1 + cap_sel % data.len();
+        let counter = BallCounter::new(&data, cap);
+        let profile = counter.l_profile();
+        let deduped = counter.distances().sorted_all_distances();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(profile.breakpoints()), bits(&deduped));
+    }
+
+    /// A shared GeometryIndex is bit-identical to a per-query rebuild, at
+    /// every thread count, and its memoised profiles stay bit-identical on
+    /// reuse.
+    #[test]
+    fn geometry_index_reuse_is_bit_identical_across_threads(
+        data in dataset(16, 2),
+        cap_sel in 1usize..8,
+    ) {
+        let cap = 1 + cap_sel % data.len();
+        let reference = DistanceMatrix::build(&data);
+        let fresh = BallCounter::new(&data, cap).l_profile();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for threads in [1usize, 2, 4] {
+            let index = GeometryIndex::build(&data, threads);
+            for i in 0..data.len() {
+                prop_assert_eq!(
+                    bits(index.distances().sorted_row(i)),
+                    bits(reference.sorted_row(i))
+                );
+            }
+            // First use builds, second reuses the memoised profile.
+            for _ in 0..2 {
+                let profile = index.l_profile(cap);
+                prop_assert_eq!(bits(profile.breakpoints()), bits(fresh.breakpoints()));
+                prop_assert_eq!(bits(profile.values()), bits(fresh.values()));
+            }
+            prop_assert_eq!(index.cached_profiles(), 1);
+        }
+    }
+}
+
+/// Pins the unified tolerance so it cannot silently drift: one relative
+/// slack of 1e-12 plus one absolute slack of 1e-15, used identically by
+/// membership counting, breakpoint dedup, and the profile sweep.
+#[test]
+fn unified_tolerance_regression() {
+    // The predicate itself.
+    assert!(tol::same_distance(1.0, 1.0 + 0.9e-12));
+    assert!(!tol::same_distance(1.0, 1.0 + 1.2e-12));
+    assert!(tol::within_radius(1.0 + 0.9e-12, 1.0));
+    assert!(!tol::within_radius(1.0 + 1.2e-12, 1.0));
+    assert!(tol::within_radius(0.9e-15, 0.0));
+    assert!(!tol::within_radius(1.2e-15, 0.0));
+
+    // Distances ~100 ulps apart (≈2e-14 at scale 1): inside the unified
+    // tolerance, so dedup AND the profile merge them — under the old 4-ulp
+    // dedup they survived as two breakpoints while the profile merged them.
+    let a = 1.0f64;
+    let b = f64::from_bits(a.to_bits() + 100);
+    let data = Dataset::from_rows(vec![vec![0.0], vec![a], vec![-b]]).unwrap();
+    let counter = BallCounter::new(&data, 2);
+    let deduped = counter.distances().sorted_all_distances();
+    let profile = counter.l_profile();
+    assert_eq!(profile.breakpoints().len(), deduped.len());
+    // Distances {0, a, b, a+b}: a and b collapse into one breakpoint.
+    assert_eq!(deduped.len(), 3);
+
+    // Distances 3e-12 apart at scale 1: beyond the tolerance, so BOTH keep
+    // them distinct.
+    let c = 1.0 + 3e-12;
+    let data = Dataset::from_rows(vec![vec![0.0], vec![a], vec![-c]]).unwrap();
+    let counter = BallCounter::new(&data, 2);
+    assert_eq!(
+        counter.l_profile().breakpoints().len(),
+        counter.distances().sorted_all_distances().len()
+    );
+    assert_eq!(counter.distances().sorted_all_distances().len(), 4);
 }

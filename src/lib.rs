@@ -58,7 +58,8 @@ pub mod prelude {
     pub use privcluster_agg::{sample_and_aggregate, MeanAnalysis, SaConfig};
     pub use privcluster_baselines::{OneClusterSolver, PrivClusterSolver};
     pub use privcluster_core::{
-        good_center, good_radius, k_cluster, one_cluster, screened_noisy_mean, GoodCenterConfig,
+        good_center, good_radius, good_radius_with_index, k_cluster, k_cluster_with_index,
+        one_cluster, one_cluster_with_index, screened_noisy_mean, GoodCenterConfig,
         GoodRadiusConfig, OneClusterParams, OutlierScreen,
     };
     pub use privcluster_datagen::{
@@ -67,5 +68,5 @@ pub mod prelude {
     pub use privcluster_dp::composition::CompositionMode;
     pub use privcluster_dp::PrivacyParams;
     pub use privcluster_engine::{Engine, EngineConfig, Query, QueryRequest};
-    pub use privcluster_geometry::{Ball, Dataset, GridDomain, Point};
+    pub use privcluster_geometry::{Ball, Dataset, GeometryIndex, GridDomain, Point};
 }

@@ -38,8 +38,11 @@ fn prelude_exposes_every_promised_name() {
         -> Result<privcluster::core::OneClusterOutcome, privcluster::core::ClusterError> =
         one_cluster::<StdRng>;
     let _ = good_radius::<StdRng>;
+    let _ = good_radius_with_index::<StdRng>;
+    let _ = one_cluster_with_index::<StdRng>;
     let _ = good_center::<StdRng>;
     let _ = k_cluster::<StdRng>;
+    let _ = k_cluster_with_index::<StdRng>;
     let _ = screened_noisy_mean::<StdRng>;
     let _ = GoodRadiusConfig::default();
     let _ = GoodCenterConfig::default();
@@ -59,6 +62,7 @@ fn prelude_exposes_every_promised_name() {
     let _ = Point::new(vec![0.0, 0.0]);
     let _ = Ball::new(Point::new(vec![0.0, 0.0]), 1.0).unwrap();
     let _ = Dataset::from_rows(vec![vec![0.0, 0.0]]).unwrap();
+    let _ = GeometryIndex::build(&Dataset::from_rows(vec![vec![0.0, 0.0]]).unwrap(), 1);
 
     // privcluster_agg
     let _ = sample_and_aggregate::<MeanAnalysis, StdRng>;
