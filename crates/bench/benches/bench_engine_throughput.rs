@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privcluster_datagen::planted_ball_cluster;
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
-use privcluster_engine::{Engine, EngineConfig, Query, QueryRequest};
+use privcluster_engine::{BackendChoice, Engine, EngineConfig, Query, QueryRequest};
 use privcluster_geometry::GridDomain;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,6 +33,7 @@ fn fresh_engine(threads: usize) -> Engine {
     let engine = Engine::new(EngineConfig {
         threads,
         cache_capacity: 0, // disable caching: measure execution, not replay
+        ..EngineConfig::default()
     });
     let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
     let mut rng = StdRng::seed_from_u64(42);
@@ -120,9 +121,63 @@ fn bench_engine_repeated_queries(c: &mut Criterion) {
     group.finish();
 }
 
+/// Exact vs projected backend at a scale where the exact matrix still fits
+/// (n = 2000: 32 MB; at the 50k CI-smoke scale it would be 20 GB and could
+/// not run at all). One iteration = register the dataset with the forced
+/// backend + an 8-query GoodRadius batch, so the measurement covers
+/// exactly the work the backend choice changes: the one-time geometry
+/// build (`O(n² d)` matrix + `O(n² log² n)` profile vs `O(n log n)` build
+/// + `O(B² log B)` profile) plus profile-served queries.
+fn bench_engine_backend_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_backend_register_and_8_queries");
+    let n = 2000usize;
+    let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let inst = planted_ball_cluster(&domain, n, n / 2, 0.02, &mut rng);
+    let requests: Vec<QueryRequest> = (0..BATCH as u64)
+        .map(|seed| QueryRequest {
+            dataset: "bench".into(),
+            seed,
+            privacy: PrivacyParams::new(1.0, 1e-8).unwrap(),
+            query: Query::GoodRadius {
+                t: n / 2,
+                beta: 0.1,
+            },
+        })
+        .collect();
+    for (label, choice) in [
+        ("exact", BackendChoice::Exact),
+        ("projected", BackendChoice::Projected),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let engine = Engine::new(EngineConfig {
+                    threads: 1,
+                    cache_capacity: 0,
+                    ..EngineConfig::default()
+                });
+                engine
+                    .register_dataset_with_backend(
+                        "bench",
+                        inst.data.clone(),
+                        domain.clone(),
+                        PrivacyParams::new(1e6, 0.5).unwrap(),
+                        CompositionMode::Basic,
+                        choice,
+                    )
+                    .unwrap();
+                let out = engine.run_batch(&requests);
+                assert!(out.iter().all(|r| r.is_ok()));
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_engine_throughput, bench_engine_repeated_queries
+    targets = bench_engine_throughput, bench_engine_repeated_queries, bench_engine_backend_scaling
 }
 criterion_main!(benches);

@@ -29,7 +29,7 @@ use privcluster_dp::quasiconcave::{solve_quasiconcave, QcSolverConfig, QualityOr
 use privcluster_dp::sampling::laplace;
 use privcluster_dp::PrivacyParams;
 use privcluster_geometry::ball_count::LProfile;
-use privcluster_geometry::{BallCounter, Dataset, GeometryIndex, GridDomain};
+use privcluster_geometry::{BallCounter, Dataset, GeometryBackend, GridDomain};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -105,7 +105,9 @@ impl QualityOracle for RadiusQuality<'_> {
 ///
 /// Builds the `O(n² d)` pairwise-distance structure from scratch; callers
 /// answering repeated queries against the same dataset should build a
-/// [`GeometryIndex`] once and use [`good_radius_with_index`] instead.
+/// [`GeometryBackend`] (an exact `GeometryIndex`, or a sub-quadratic
+/// `ProjectedBackend` for large `n`) once and use
+/// [`good_radius_with_index`] instead.
 pub fn good_radius<R: Rng + ?Sized>(
     data: &Dataset,
     domain: &GridDomain,
@@ -118,10 +120,13 @@ pub fn good_radius<R: Rng + ?Sized>(
     good_radius_inner(data, domain, t, privacy, beta, config, None, rng)
 }
 
-/// [`good_radius`] against a prebuilt, shareable [`GeometryIndex`] of
+/// [`good_radius`] against a prebuilt, shareable [`GeometryBackend`] of
 /// `data`: the `O(n² d)` distance work is skipped and the `L(·, S)` profile
-/// for this `t` is reused if already cached (bit-identical results either
-/// way). The index must have been built from exactly this dataset.
+/// for this `t` is reused if already cached. Against the exact backend
+/// (`GeometryIndex`) results are bit-identical to [`good_radius`]; against
+/// an approximating backend the profile (hence the released radius) carries
+/// the backend's documented additive slack. The backend must have been
+/// built from exactly this dataset.
 #[allow(clippy::too_many_arguments)]
 pub fn good_radius_with_index<R: Rng + ?Sized>(
     data: &Dataset,
@@ -130,15 +135,15 @@ pub fn good_radius_with_index<R: Rng + ?Sized>(
     privacy: PrivacyParams,
     beta: f64,
     config: &GoodRadiusConfig,
-    index: &GeometryIndex,
+    index: &dyn GeometryBackend,
     rng: &mut R,
 ) -> Result<GoodRadiusOutcome, ClusterError> {
     good_radius_inner(data, domain, t, privacy, beta, config, Some(index), rng)
 }
 
 /// Validates parameters *before* touching (or building) any `O(n²)`
-/// geometry, then runs the algorithm against the shared index when one was
-/// supplied and a freshly built profile otherwise.
+/// geometry, then runs the algorithm against the shared backend when one
+/// was supplied and a freshly built (exact) profile otherwise.
 #[allow(clippy::too_many_arguments)]
 fn good_radius_inner<R: Rng + ?Sized>(
     data: &Dataset,
@@ -147,13 +152,13 @@ fn good_radius_inner<R: Rng + ?Sized>(
     privacy: PrivacyParams,
     beta: f64,
     config: &GoodRadiusConfig,
-    index: Option<&GeometryIndex>,
+    index: Option<&dyn GeometryBackend>,
     rng: &mut R,
 ) -> Result<GoodRadiusOutcome, ClusterError> {
     if let Some(index) = index {
         if index.len() != data.len() {
             return Err(ClusterError::InvalidParameter(format!(
-                "geometry index covers {} points but the dataset has {}",
+                "geometry backend covers {} points but the dataset has {}",
                 index.len(),
                 data.len()
             )));
@@ -226,15 +231,36 @@ fn good_radius_inner<R: Rng + ?Sized>(
     // theorem's precondition t ≳ 4Γ holds with a factor-2 margin the floor is
     // below the paper's threshold, so Lemma 4.6's argument is unchanged.
     let zero_threshold = (t as f64 - 2.0 * gamma - step2_slack).max(t as f64 / 2.0);
+    // An approximating backend cannot distinguish radius 0 from radius ≤
+    // its slack: its L(0) already counts whole buckets. Releasing radius 0
+    // on its say-so would send GoodCenter down the exact-duplicate-point
+    // branch, which then (correctly) finds nothing and fails the query. So
+    // the shortcut only fires on an *exact-kind* backend; approximating
+    // backends fall through to the grid search, which resolves radii at
+    // the slack scale anyway. The routing condition is the backend KIND —
+    // fixed by registration configuration and the public dataset size,
+    // never by the data — NOT the realised `radius_slack()` (which is a
+    // data-dependent quantity: branching on it would leak an un-noised bit
+    // and void the DP guarantee). The Laplace test above still ran and was
+    // charged either way.
+    let exact_kind = index
+        .map(|b| b.kind() == privcluster_geometry::BackendKind::Exact)
+        .unwrap_or(true);
     if noisy_l0 > zero_threshold {
-        diagnostics.event("degenerate radius-0 cluster detected in step 2");
-        return Ok(GoodRadiusOutcome {
-            radius: 0.0,
-            degenerate_zero: true,
-            gamma,
-            loss_bound,
-            diagnostics,
-        });
+        if exact_kind {
+            diagnostics.event("degenerate radius-0 cluster detected in step 2");
+            return Ok(GoodRadiusOutcome {
+                radius: 0.0,
+                degenerate_zero: true,
+                gamma,
+                loss_bound,
+                diagnostics,
+            });
+        }
+        diagnostics.event(
+            "step 2 fired on an approximating backend; deferring to the grid search \
+             instead of releasing radius 0",
+        );
     }
 
     // ---- Step 4: private search over the radius grid.
@@ -296,7 +322,7 @@ fn good_radius_inner<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use privcluster_datagen::planted_ball_cluster;
-    use privcluster_geometry::smallest_ball_two_approx;
+    use privcluster_geometry::{smallest_ball_two_approx, GeometryIndex};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

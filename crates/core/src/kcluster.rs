@@ -13,7 +13,7 @@ use crate::config::OneClusterParams;
 use crate::diagnostics::Diagnostics;
 use crate::error::ClusterError;
 use crate::one_cluster::{one_cluster, one_cluster_with_index};
-use privcluster_geometry::{tol, Ball, Dataset, GeometryIndex};
+use privcluster_geometry::{tol, Ball, Dataset, GeometryBackend};
 use rand::Rng;
 
 /// The result of the iterated heuristic.
@@ -84,19 +84,21 @@ pub fn k_cluster<R: Rng + ?Sized>(
     k_cluster_inner(data, k, params, None, rng)
 }
 
-/// [`k_cluster`] against a prebuilt, shareable [`GeometryIndex`] of `data`.
+/// [`k_cluster`] against a prebuilt, shareable [`GeometryBackend`] of
+/// `data`.
 ///
-/// Only the first round can reuse the index: every later round runs on the
-/// *uncovered remainder*, a different dataset for which the index is
-/// invalid, so those rounds rebuild as before. The first round is the one
-/// over the full `n` points — exactly the most expensive rebuild this
-/// saves. Results are bit-identical to [`k_cluster`] for the same RNG
-/// stream.
+/// Only the first round can reuse the backend itself: every later round
+/// runs on the *uncovered remainder*, a different dataset for which it is
+/// invalid. Those rounds build a fresh backend **of the same kind** via
+/// [`GeometryBackend::rebuild_for`], so a sub-quadratic projected backend
+/// stays sub-quadratic in every round instead of only the first (an exact
+/// backend rebuilds the exact structure, exactly as [`k_cluster`] always
+/// did — results there are bit-identical for the same RNG stream).
 pub fn k_cluster_with_index<R: Rng + ?Sized>(
     data: &Dataset,
     k: usize,
     params: &OneClusterParams,
-    index: &GeometryIndex,
+    index: &dyn GeometryBackend,
     rng: &mut R,
 ) -> Result<KClusterOutcome, ClusterError> {
     k_cluster_inner(data, k, params, Some(index), rng)
@@ -106,7 +108,7 @@ fn k_cluster_inner<R: Rng + ?Sized>(
     data: &Dataset,
     k: usize,
     params: &OneClusterParams,
-    index: Option<&GeometryIndex>,
+    index: Option<&dyn GeometryBackend>,
     rng: &mut R,
 ) -> Result<KClusterOutcome, ClusterError> {
     if k == 0 {
@@ -134,11 +136,19 @@ fn k_cluster_inner<R: Rng + ?Sized>(
             completed = false;
             break;
         }
-        // The shared index describes the full dataset, which is exactly the
-        // round-0 input; later rounds see a filtered remainder and rebuild.
+        // The shared backend describes the full dataset, which is exactly
+        // the round-0 input; later rounds see a filtered remainder and get
+        // a fresh same-kind backend so large-n runs never fall back to the
+        // quadratic path mid-query.
         let round_result = match index {
-            Some(index) if round == 0 => one_cluster_with_index(&remaining, &per_round, index, rng),
-            _ => one_cluster(&remaining, &per_round, rng),
+            Some(backend) if round == 0 => {
+                one_cluster_with_index(&remaining, &per_round, backend, rng)
+            }
+            Some(backend) => {
+                let rebuilt = backend.rebuild_for(&remaining);
+                one_cluster_with_index(&remaining, &per_round, rebuilt.as_ref(), rng)
+            }
+            None => one_cluster(&remaining, &per_round, rng),
         };
         match round_result {
             Ok(out) => {

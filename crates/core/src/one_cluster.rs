@@ -7,7 +7,7 @@ use crate::error::ClusterError;
 use crate::good_center::good_center;
 use crate::good_radius::{good_radius, good_radius_with_index};
 use crate::guarantees::TheoreticalGuarantees;
-use privcluster_geometry::{Ball, Dataset, GeometryIndex};
+use privcluster_geometry::{Ball, Dataset, GeometryBackend};
 use rand::Rng;
 
 /// The result of a full 1-cluster solve.
@@ -40,14 +40,16 @@ pub fn one_cluster<R: Rng + ?Sized>(
     one_cluster_inner(data, params, None, rng)
 }
 
-/// [`one_cluster`] against a prebuilt, shareable [`GeometryIndex`] of
-/// `data`: the GoodRadius stage reuses the index instead of rebuilding the
-/// `O(n² d)` pairwise-distance structure (GoodCenter never needed it).
-/// Results are bit-identical to [`one_cluster`] for the same RNG stream.
+/// [`one_cluster`] against a prebuilt, shareable [`GeometryBackend`] of
+/// `data`: the GoodRadius stage reuses the backend instead of rebuilding
+/// the `O(n² d)` pairwise-distance structure (GoodCenter never needed it).
+/// Against the exact backend, results are bit-identical to [`one_cluster`]
+/// for the same RNG stream; against an approximating backend the radius
+/// stage carries the backend's documented slack.
 pub fn one_cluster_with_index<R: Rng + ?Sized>(
     data: &Dataset,
     params: &OneClusterParams,
-    index: &GeometryIndex,
+    index: &dyn GeometryBackend,
     rng: &mut R,
 ) -> Result<OneClusterOutcome, ClusterError> {
     one_cluster_inner(data, params, Some(index), rng)
@@ -56,7 +58,7 @@ pub fn one_cluster_with_index<R: Rng + ?Sized>(
 fn one_cluster_inner<R: Rng + ?Sized>(
     data: &Dataset,
     params: &OneClusterParams,
-    index: Option<&GeometryIndex>,
+    index: Option<&dyn GeometryBackend>,
     rng: &mut R,
 ) -> Result<OneClusterOutcome, ClusterError> {
     params.validate_against(data.len())?;

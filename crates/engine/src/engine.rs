@@ -21,12 +21,12 @@ use crate::error::EngineError;
 use crate::planner::{plan, Plan};
 use crate::pool::run_on_pool;
 use crate::query::{QueryRequest, QueryValue};
-use crate::registry::{DatasetEntry, DatasetRegistry};
+use crate::registry::{BackendChoice, DatasetEntry, DatasetRegistry};
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
-use privcluster_geometry::{Dataset, GridDomain};
+use privcluster_geometry::{BackendKind, Dataset, GridDomain};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +35,13 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Capacity of the released-result cache (0 disables caching).
     pub cache_capacity: usize,
+    /// Largest dataset (in points) that [`BackendChoice::Auto`] still
+    /// serves with the exact `O(n²)` geometry backend; anything bigger gets
+    /// the sub-quadratic projected backend. The default, 4096 points, caps
+    /// the exact matrix at `8·4096² = 134 MB`; at 100k points the matrix
+    /// would be 80 GB, which is the scaling cliff the projected backend
+    /// removes.
+    pub exact_backend_max_points: usize,
 }
 
 impl Default for EngineConfig {
@@ -44,8 +51,20 @@ impl Default for EngineConfig {
                 .map(|n| n.get().min(4))
                 .unwrap_or(1),
             cache_capacity: 256,
+            exact_backend_max_points: 4096,
         }
     }
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked. The
+/// engine's `cache` and `pending` structures stay internally consistent
+/// across a panicking query (the panic happens in `plan.execute`, never
+/// mid-mutation of these maps), so propagating the poison would only turn
+/// one failed query into a permanently dead service.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Public, non-sensitive description of a registered dataset.
@@ -61,6 +80,8 @@ pub struct DatasetStatus {
     pub budget: PrivacyParams,
     /// Selected composition theorem.
     pub mode: CompositionMode,
+    /// Which geometry backend serves this dataset's queries.
+    pub backend: BackendKind,
     /// Queries granted so far.
     pub granted: usize,
     /// Queries refused so far.
@@ -124,14 +145,15 @@ impl Engine {
     }
 
     /// Registers an immutable dataset under `name` with a total privacy
-    /// budget and a composition theorem. Names are write-once.
+    /// budget and a composition theorem, selecting the geometry backend
+    /// automatically: exact at or below
+    /// [`EngineConfig::exact_backend_max_points`] points, projected above.
+    /// Names are write-once.
     ///
-    /// Registration also builds the dataset's shared [`GeometryIndex`]
-    /// (`8·n²` bytes, filled with the engine's worker threads), so the
-    /// `O(n² d)` pairwise-distance cost is paid here — once — and **no**
-    /// later query ever rebuilds it.
-    ///
-    /// [`GeometryIndex`]: privcluster_geometry::GeometryIndex
+    /// Registration also builds the dataset's shared geometry backend (the
+    /// `8·n²`-byte exact index filled with the engine's worker threads, or
+    /// the `O(n + B²)` projected sampler), so the one-time cost is paid
+    /// here and **no** later query ever rebuilds it.
     pub fn register_dataset(
         &self,
         name: impl Into<String>,
@@ -140,9 +162,36 @@ impl Engine {
         budget: PrivacyParams,
         mode: CompositionMode,
     ) -> Result<DatasetStatus, EngineError> {
-        let entry = DatasetEntry::new(name, dataset, domain, budget, mode)?;
+        self.register_dataset_with_backend(name, dataset, domain, budget, mode, BackendChoice::Auto)
+    }
+
+    /// [`Engine::register_dataset`] with an explicit backend choice — the
+    /// wire protocol's optional `"backend"` field lands here, letting a
+    /// client force the exact matrix on a large dataset (accepting its
+    /// memory bill) or the projected sampler on a small one.
+    pub fn register_dataset_with_backend(
+        &self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        domain: GridDomain,
+        budget: PrivacyParams,
+        mode: CompositionMode,
+        choice: BackendChoice,
+    ) -> Result<DatasetStatus, EngineError> {
+        let kind = match choice {
+            BackendChoice::Exact => BackendKind::Exact,
+            BackendChoice::Projected => BackendKind::Projected,
+            BackendChoice::Auto => {
+                if dataset.len() <= self.config.exact_backend_max_points {
+                    BackendKind::Exact
+                } else {
+                    BackendKind::Projected
+                }
+            }
+        };
+        let entry = DatasetEntry::new(name, dataset, domain, budget, mode, kind)?;
         let entry = self.registry.register(entry)?;
-        entry.geometry_index(self.config.threads.max(1));
+        entry.backend(self.config.threads.max(1));
         Ok(self.status_of(&entry))
     }
 
@@ -165,6 +214,7 @@ impl Engine {
             dim: entry.dataset().dim(),
             budget: accountant.budget(),
             mode: accountant.mode(),
+            backend: entry.backend_kind(),
             granted: accountant.granted(),
             refused: accountant.refused(),
             spent: accountant.composed_spend(),
@@ -174,7 +224,7 @@ impl Engine {
 
     /// Cache hit / miss counters of the released-result cache.
     pub fn cache_stats(&self) -> (u64, u64) {
-        let cache = self.cache.lock().expect("cache lock poisoned");
+        let cache = lock_recover(&self.cache);
         (cache.hits(), cache.misses())
     }
 
@@ -185,11 +235,11 @@ impl Engine {
         let entry = self.registry.get(&request.dataset)?;
         let key = request.cache_key();
         {
-            let mut pending = self.pending.lock().expect("pending lock poisoned");
+            let mut pending = lock_recover(&self.pending);
             loop {
                 // The cache guard is transient, so pending → cache is the
                 // only order in which both locks are ever held at once.
-                if let Some(value) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+                if let Some(value) = lock_recover(&self.cache).get(&key) {
                     let remaining = entry.accountant().remaining_epsilon();
                     return Ok(Admitted::Done(QueryResponse {
                         value,
@@ -207,7 +257,7 @@ impl Engine {
                 pending = self
                     .pending_done
                     .wait(pending)
-                    .expect("pending lock poisoned");
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         }
         // From here this thread owns `key` in the pending set and must
@@ -245,10 +295,7 @@ impl Engine {
 
     /// Removes a key from the in-flight set and wakes coalesced waiters.
     fn release_pending(&self, key: &str) {
-        self.pending
-            .lock()
-            .expect("pending lock poisoned")
-            .remove(key);
+        lock_recover(&self.pending).remove(key);
         self.pending_done.notify_all();
     }
 
@@ -261,17 +308,49 @@ impl Engine {
         charged: PrivacyParams,
         remaining_epsilon: f64,
     ) -> Result<QueryResponse, EngineError> {
-        let result = plan.execute(entry, seed);
-        if let Ok(value) = &result {
-            self.cache
-                .lock()
-                .expect("cache lock poisoned")
-                .insert(key.clone(), value.clone());
+        // From admission until here this thread owns `key` in the pending
+        // set. The guard ties its release to scope exit, so even a panic in
+        // `plan.execute` cannot leak the key — without it, coalesced
+        // waiters of the same request would block on the condvar forever
+        // and the panicking thread's poisoned locks would take down every
+        // subsequent query.
+        struct PendingGuard<'a> {
+            engine: &'a Engine,
+            key: &'a str,
         }
-        // Wake coalesced waiters whether the run succeeded (they will find
-        // the cache entry) or failed (they will admit and charge their own
-        // attempt, exactly as in the sequential case).
-        self.release_pending(&key);
+        impl Drop for PendingGuard<'_> {
+            fn drop(&mut self) {
+                self.engine.release_pending(self.key);
+            }
+        }
+        let _guard = PendingGuard {
+            engine: self,
+            key: &key,
+        };
+
+        // A panicking plan is a data-dependent failure like any other:
+        // contain it to this query instead of unwinding through `serve`.
+        // The spend stands (the engine never refunds post-admission
+        // failures), and coalesced waiters re-admit on their own.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.execute(entry, seed)))
+                .unwrap_or_else(|panic| {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(EngineError::ExecutionFailed(format!(
+                        "query execution panicked: {message}"
+                    )))
+                });
+        if let Ok(value) = &result {
+            lock_recover(&self.cache).insert(key.clone(), value.clone());
+        }
+        // The guard wakes coalesced waiters on every exit path: on success
+        // they will find the cache entry, on failure (or panic) they will
+        // admit and charge their own attempt, exactly as in the sequential
+        // case.
         Ok(QueryResponse {
             value: result?,
             cached: false,
@@ -415,6 +494,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads: 2,
             cache_capacity: 16,
+            ..EngineConfig::default()
         });
         let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
@@ -438,6 +518,96 @@ mod tests {
             privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
             query: Query::GoodRadius { t: 200, beta: 0.1 },
         }
+    }
+
+    #[test]
+    fn a_panicking_plan_releases_its_pending_key_and_spares_the_engine() {
+        let engine = engine_with_dataset(10.0);
+        let request = radius_request(1);
+        let key = request.cache_key();
+        // Simulate admission of a plan that will panic: the key is owned in
+        // the pending set exactly as `admit` would leave it.
+        lock_recover(&engine.pending).insert(key.clone());
+        let entry = engine.registry.get("demo").unwrap();
+        let err = engine
+            .finish(
+                &entry,
+                &Plan::panicking_for_test(),
+                key.clone(),
+                1,
+                PrivacyParams::new(0.5, 1e-7).unwrap(),
+                9.5,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::ExecutionFailed(m) if m.contains("panicked")),
+            "got {err:?}"
+        );
+        // The drop guard released the key: coalesced waiters cannot hang...
+        assert!(
+            !lock_recover(&engine.pending).contains(&key),
+            "pending key leaked after a panicking plan"
+        );
+        // ...and the engine keeps serving: the *same* request (same cache
+        // key) admits, charges, and executes normally afterwards.
+        let response = engine.query(&request).unwrap();
+        assert!(!response.cached);
+        assert_eq!(engine.status("demo").unwrap().granted, 1);
+    }
+
+    #[test]
+    fn coalesced_waiters_survive_a_panicking_twin() {
+        // One thread runs a panicking plan for a key; a racing identical
+        // request coalesces on that key mid-flight. Before the drop guard,
+        // the waiter blocked on the condvar forever (the panicking thread
+        // never released the key) and the whole service wedged.
+        let engine = std::sync::Arc::new(engine_with_dataset(10.0));
+        let request = radius_request(7);
+        let key = request.cache_key();
+        lock_recover(&engine.pending).insert(key.clone());
+        let waiter = {
+            let engine = std::sync::Arc::clone(&engine);
+            let request = request.clone();
+            std::thread::spawn(move || engine.query(&request))
+        };
+        // Give the waiter a moment to park on the pending set, then panic
+        // the in-flight twin.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let entry = engine.registry.get("demo").unwrap();
+        let _ = engine.finish(
+            &entry,
+            &Plan::panicking_for_test(),
+            key,
+            7,
+            PrivacyParams::new(0.5, 1e-7).unwrap(),
+            9.5,
+        );
+        let response = waiter.join().unwrap().unwrap();
+        assert!(!response.cached, "the waiter re-admits and runs on its own");
+    }
+
+    #[test]
+    fn poisoned_cache_and_pending_locks_recover() {
+        let engine = engine_with_dataset(10.0);
+        // Poison both mutexes the way a panicking holder would.
+        for _ in 0..1 {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = engine.cache.lock().unwrap();
+                panic!("poison the cache lock");
+            }));
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = engine.pending.lock().unwrap();
+                panic!("poison the pending lock");
+            }));
+        }
+        assert!(engine.cache.is_poisoned());
+        assert!(engine.pending.is_poisoned());
+        // Every path that used to `.expect("lock poisoned")` now recovers.
+        let first = engine.query(&radius_request(2)).unwrap();
+        assert!(!first.cached);
+        assert!(engine.query(&radius_request(2)).unwrap().cached);
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
     }
 
     #[test]

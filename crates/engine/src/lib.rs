@@ -13,7 +13,9 @@
 //! The pieces:
 //!
 //! * [`registry`] — named, immutable [`Dataset`]s with their
-//!   [`GridDomain`]s and per-dataset budgets;
+//!   [`GridDomain`]s, per-dataset budgets, and the cached geometry backend
+//!   (exact `O(n²)` index, or the sub-quadratic projected sampler for
+//!   large `n`, selected by size threshold or per-registration override);
 //! * [`accountant`] — the [`BudgetAccountant`] over
 //!   [`PrivacyLedger`], refusing queries that would exhaust the budget;
 //! * [`query`] — the [`Query`] surface: GoodRadius, 1-cluster, k-cluster,
@@ -36,7 +38,11 @@
 //! use privcluster_dp::PrivacyParams;
 //! use privcluster_geometry::{Dataset, GridDomain};
 //!
-//! let engine = Engine::new(EngineConfig { threads: 2, cache_capacity: 64 });
+//! let engine = Engine::new(EngineConfig {
+//!     threads: 2,
+//!     cache_capacity: 64,
+//!     ..EngineConfig::default()
+//! });
 //! let domain = GridDomain::unit_cube(1, 1 << 10).unwrap();
 //! let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![0.5 + 0.001 * (i % 7) as f64]).collect();
 //! engine
@@ -89,6 +95,6 @@ pub use cache::ResultCache;
 pub use engine::{DatasetStatus, Engine, EngineConfig, QueryResponse};
 pub use error::EngineError;
 pub use planner::{plan, Plan};
-pub use protocol::{serve_lines, serve_tcp, Request};
+pub use protocol::{serve_lines, serve_tcp, Request, MAX_REQUEST_LINE_BYTES};
 pub use query::{BaselineMethod, Query, QueryRequest, QueryValue, WireBall};
-pub use registry::{DatasetEntry, DatasetRegistry};
+pub use registry::{BackendChoice, DatasetEntry, DatasetRegistry};

@@ -62,6 +62,10 @@ pub struct Plan {
 
 #[derive(Debug, Clone)]
 enum Prepared {
+    /// Panics on execution — only constructible from tests, via
+    /// [`Plan::panicking_for_test`], to pin the engine's panic containment.
+    #[cfg(test)]
+    PanickingForTest,
     GoodRadius {
         t: usize,
         privacy: PrivacyParams,
@@ -246,27 +250,47 @@ fn noisy_count<R: rand::Rng + ?Sized>(
 }
 
 impl Plan {
+    /// A plan whose execution panics, for regression-testing the engine's
+    /// panic containment (pending-set release, lock-poison recovery).
+    #[cfg(test)]
+    pub(crate) fn panicking_for_test() -> Self {
+        Plan {
+            prepared: Prepared::PanickingForTest,
+        }
+    }
+
     /// Executes the plan on its dataset with the query's own RNG stream.
     ///
-    /// The clustering arms run against the entry's shared [`GeometryIndex`]
-    /// (built at registration, or lazily here on a sequential fallback), so
-    /// repeated queries never redo the `O(n² d)` pairwise-distance work.
+    /// The clustering arms run against the entry's shared
+    /// [`GeometryBackend`] (built at registration, or lazily here on a
+    /// sequential fallback), so repeated queries never redo the one-time
+    /// geometry work — and the planner never branches on whether that
+    /// backend is the exact matrix or the sub-quadratic projected sampler.
     ///
-    /// [`GeometryIndex`]: privcluster_geometry::GeometryIndex
+    /// [`GeometryBackend`]: privcluster_geometry::GeometryBackend
     pub fn execute(&self, entry: &DatasetEntry, seed: u64) -> Result<QueryValue, EngineError> {
         let data = entry.dataset();
         let domain = entry.domain();
         let mut rng = StdRng::seed_from_u64(seed);
         match &self.prepared {
+            #[cfg(test)]
+            Prepared::PanickingForTest => panic!("deliberate test panic in plan execution"),
             Prepared::GoodRadius {
                 t,
                 privacy,
                 beta,
                 config,
             } => {
-                let index = entry.geometry_index(1);
+                let backend = entry.backend(1);
                 let out = good_radius_with_index(
-                    data, domain, *t, *privacy, *beta, config, &index, &mut rng,
+                    data,
+                    domain,
+                    *t,
+                    *privacy,
+                    *beta,
+                    config,
+                    backend.as_ref(),
+                    &mut rng,
                 )?;
                 Ok(QueryValue::Radius { radius: out.radius })
             }
@@ -274,8 +298,8 @@ impl Plan {
                 params,
                 count_epsilon,
             } => {
-                let index = entry.geometry_index(1);
-                let out = one_cluster_with_index(data, params, &index, &mut rng)?;
+                let backend = entry.backend(1);
+                let out = one_cluster_with_index(data, params, backend.as_ref(), &mut rng)?;
                 let captured = noisy_count(
                     data.count_in_ball(&out.ball),
                     data.len(),
@@ -289,8 +313,8 @@ impl Plan {
                 params,
                 count_epsilon,
             } => {
-                let index = entry.geometry_index(1);
-                let out = k_cluster_with_index(data, *k, params, &index, &mut rng)?;
+                let backend = entry.backend(1);
+                let out = k_cluster_with_index(data, *k, params, backend.as_ref(), &mut rng)?;
                 let covered = noisy_count(
                     out.covered_count(data),
                     data.len(),
@@ -381,6 +405,7 @@ mod tests {
             domain,
             PrivacyParams::new(8.0, 1e-4).unwrap(),
             CompositionMode::Basic,
+            privcluster_geometry::BackendKind::Exact,
         )
         .unwrap()
     }

@@ -13,6 +13,7 @@
 //! {"op":"register","dataset":"synth","domain":{"dim":2,"size":1024},
 //!  "budget":{"epsilon":1.0,"delta":1e-6},
 //!  "composition":{"advanced":{"delta_prime":1e-7}},
+//!  "backend":"projected",
 //!  "synthetic":{"kind":"planted_ball","n":2000,"cluster_size":1000,
 //!               "cluster_radius":0.02,"seed":7}}
 //! {"op":"query","dataset":"demo","seed":1,"epsilon":0.25,"delta":1e-8,
@@ -23,14 +24,25 @@
 //! {"op":"shutdown"}
 //! ```
 //!
+//! The optional register field `"backend"` (`"auto"` | `"exact"` |
+//! `"projected"`, default `"auto"`) overrides the engine's size-based
+//! geometry-backend selection for that dataset; `status` responses report
+//! the active backend.
+//!
 //! Every response carries `"ok"`; errors report a stable `kind` (see
 //! [`EngineError::kind`]) plus a human-readable message. Responses never
 //! include wall-clock times, so a fixed request script produces bit-stable
 //! output — that is what the CI smoke test diffs against its golden file.
+//!
+//! Request lines are capped at [`MAX_REQUEST_LINE_BYTES`]; an oversized
+//! (or newline-free, hence unbounded) line is drained without buffering,
+//! answered with a structured `protocol` error, and the connection keeps
+//! serving.
 
 use crate::engine::{DatasetStatus, Engine, QueryResponse};
 use crate::error::EngineError;
 use crate::query::QueryRequest;
+use crate::registry::BackendChoice;
 use crate::wire::{get, num, obj, req, req_f64, req_str, req_u64, req_usize, s};
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
@@ -72,6 +84,9 @@ pub struct RegisterRequest {
     pub budget: PrivacyParams,
     /// Composition theorem charged against.
     pub mode: CompositionMode,
+    /// Geometry backend selection (`"backend"`: `"auto"` | `"exact"` |
+    /// `"projected"`, defaulting to automatic size-based selection).
+    pub backend: BackendChoice,
     /// Where the points come from.
     pub source: DataSource,
 }
@@ -176,6 +191,16 @@ fn parse_register(value: &Value) -> Result<RegisterRequest, EngineError> {
         }
     };
 
+    let backend = match get(value, "backend") {
+        None | Some(Value::Null) => BackendChoice::Auto,
+        Some(Value::String(name)) => BackendChoice::parse(name)?,
+        Some(other) => {
+            return Err(EngineError::Protocol(format!(
+                "field `backend` must be a string, got {other:?}"
+            )))
+        }
+    };
+
     let source = match (get(value, "points"), get(value, "synthetic")) {
         (Some(points), None) => {
             let rows = points
@@ -211,6 +236,7 @@ fn parse_register(value: &Value) -> Result<RegisterRequest, EngineError> {
         domain,
         budget,
         mode,
+        backend,
         source,
     })
 }
@@ -320,6 +346,7 @@ fn status_json(status: &DatasetStatus) -> Value {
         ("dim", num(status.dim as f64)),
         ("budget", privacy_json(status.budget)),
         ("composition", composition_json(status.mode)),
+        ("backend", s(status.backend.as_str())),
         ("granted", num(status.granted as f64)),
         ("refused", num(status.refused as f64)),
         (
@@ -365,12 +392,13 @@ pub fn handle(engine: &Engine, request: &Request) -> Value {
     match request {
         Request::Register(reg) => {
             let result = materialize(&reg.source, &reg.domain).and_then(|data| {
-                engine.register_dataset(
+                engine.register_dataset_with_backend(
                     &reg.dataset,
                     data,
                     reg.domain.clone(),
                     reg.budget,
                     reg.mode,
+                    reg.backend,
                 )
             });
             match result {
@@ -428,17 +456,115 @@ pub fn handle(engine: &Engine, request: &Request) -> Value {
     }
 }
 
+/// Largest request line `serve_lines` buffers, in bytes. Requests carrying
+/// inline points are large but bounded (a 100k-point, 10-d registration is
+/// ≈ 20 MB of JSON); a *newline-free* stream is unbounded, and before this
+/// cap existed one such TCP client could balloon the server's line buffer
+/// until the process died. Oversized lines get a structured `protocol`
+/// error response and the connection keeps serving.
+pub const MAX_REQUEST_LINE_BYTES: usize = 32 * 1024 * 1024;
+
+/// One bounded read from the request stream.
+enum LineRead {
+    /// A complete line within the cap (without its newline).
+    Line(String),
+    /// The line exceeded the cap; its bytes were drained and discarded.
+    Oversize,
+    /// End of input.
+    Eof,
+}
+
+/// Reads one newline-terminated line of at most `max` bytes. Bytes beyond
+/// the cap are consumed (so the stream stays line-synchronised) but never
+/// buffered — memory use is bounded by `max` no matter what the peer sends.
+fn read_bounded_line<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversize = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF. A final unterminated line still gets served (matching
+            // `BufRead::lines`); an oversized one still gets its error.
+            return Ok(if oversize {
+                LineRead::Oversize
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if !oversize && buf.len() + newline > max {
+                    oversize = true;
+                    buf.clear();
+                }
+                if !oversize {
+                    buf.extend_from_slice(&chunk[..newline]);
+                }
+                reader.consume(newline + 1);
+                return Ok(if oversize {
+                    LineRead::Oversize
+                } else {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                });
+            }
+            None => {
+                let len = chunk.len();
+                if !oversize {
+                    if buf.len() + len > max {
+                        oversize = true;
+                        buf.clear();
+                        buf.shrink_to_fit();
+                    } else {
+                        buf.extend_from_slice(chunk);
+                    }
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
 /// Serves newline-delimited JSON requests from `reader`, writing one
 /// response line per request to `writer`. Returns at end of input or after
 /// a `shutdown` request; the returned bool reports whether a shutdown was
-/// requested (the TCP loop uses it to stop listening).
+/// requested (the TCP loop uses it to stop listening). Request lines are
+/// capped at [`MAX_REQUEST_LINE_BYTES`] — both the stdio and TCP paths go
+/// through here, so neither can be ballooned by a newline-free stream.
 pub fn serve_lines<R: BufRead, W: Write>(
     engine: &Engine,
     reader: R,
-    mut writer: W,
+    writer: W,
 ) -> std::io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
+    serve_lines_bounded(engine, reader, writer, MAX_REQUEST_LINE_BYTES)
+}
+
+/// [`serve_lines`] with an explicit line cap (tests use a small one).
+fn serve_lines_bounded<R: BufRead, W: Write>(
+    engine: &Engine,
+    mut reader: R,
+    mut writer: W,
+    max_line_bytes: usize,
+) -> std::io::Result<bool> {
+    loop {
+        let line = match read_bounded_line(&mut reader, max_line_bytes)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::Oversize => {
+                let error = EngineError::Protocol(format!(
+                    "request line exceeds the {max_line_bytes}-byte limit and was discarded"
+                ));
+                let encoded = serde_json::to_string(&error_json(&error))
+                    .expect("response serialization is infallible");
+                writeln!(writer, "{encoded}")?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -457,7 +583,6 @@ pub fn serve_lines<R: BufRead, W: Write>(
             return Ok(true);
         }
     }
-    Ok(false)
 }
 
 /// Binds `addr` and serves connections sequentially with the JSON-lines
@@ -502,6 +627,7 @@ mod tests {
         Engine::new(EngineConfig {
             threads: 2,
             cache_capacity: 32,
+            ..EngineConfig::default()
         })
     }
 
@@ -535,6 +661,52 @@ mod tests {
 
         let list = handle(&engine, &Request::parse(r#"{"op":"list"}"#).unwrap());
         assert_eq!(get(&list, "datasets").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn backend_override_on_the_wire_is_honoured_and_reported() {
+        let engine = engine();
+        let forced = REGISTER
+            .replace(r#""dataset":"demo""#, r#""dataset":"forced""#)
+            .replace(
+                r#""composition":"basic""#,
+                r#""composition":"basic","backend":"projected""#,
+            );
+        let response = handle(&engine, &Request::parse(&forced).unwrap());
+        let status = get(&response, "status").unwrap();
+        assert_eq!(
+            get(status, "backend").and_then(|v| v.as_str()),
+            Some("projected"),
+            "{response:?}"
+        );
+        // Default selection on a small dataset is exact, and status reports it.
+        handle(&engine, &Request::parse(REGISTER).unwrap());
+        let status = handle(
+            &engine,
+            &Request::parse(r#"{"op":"status","dataset":"demo"}"#).unwrap(),
+        );
+        let status = get(&status, "status").unwrap();
+        assert_eq!(
+            get(status, "backend").and_then(|v| v.as_str()),
+            Some("exact")
+        );
+        // A projected-backend dataset still answers queries.
+        let query = Request::parse(
+            r#"{"op":"query","dataset":"forced","seed":1,"epsilon":1.0,"delta":1e-6,"query":{"type":"good_radius","t":200,"beta":0.1}}"#,
+        )
+        .unwrap();
+        let response = handle(&engine, &query);
+        assert_eq!(
+            get(&response, "ok"),
+            Some(&Value::Bool(true)),
+            "{response:?}"
+        );
+        // Unknown backend names are rejected at parse time.
+        let bad = REGISTER.replace(
+            r#""composition":"basic""#,
+            r#""composition":"basic","backend":"mystery""#,
+        );
+        assert!(Request::parse(&bad).is_err());
     }
 
     #[test]
@@ -574,6 +746,61 @@ mod tests {
     }
 
     #[test]
+    fn oversize_request_lines_get_an_error_and_the_connection_survives() {
+        let engine = engine();
+        let cap = 256usize;
+        // Line 1: oversize (newline-terminated). Line 2: oversize with NO
+        // trailing newline (the unbounded-buffer attack shape: a stream
+        // that never sends '\n'). Between them, valid requests must still
+        // be served.
+        let oversize = "x".repeat(cap + 10);
+        let script = format!("{oversize}\n{{\"op\":\"list\"}}\n{oversize}");
+        let mut out = Vec::new();
+        let stopped = serve_lines_bounded(&engine, script.as_bytes(), &mut out, cap).unwrap();
+        assert!(!stopped);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""kind":"protocol""#), "{}", lines[0]);
+        assert!(lines[0].contains("exceeds"), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"list""#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""kind":"protocol""#), "{}", lines[2]);
+    }
+
+    #[test]
+    fn bounded_line_reader_handles_boundaries() {
+        let read_all = |input: &str, cap: usize| {
+            let mut reader = std::io::BufReader::with_capacity(7, input.as_bytes());
+            let mut out = Vec::new();
+            loop {
+                match read_bounded_line(&mut reader, cap).unwrap() {
+                    LineRead::Eof => break,
+                    LineRead::Oversize => out.push(None),
+                    LineRead::Line(l) => out.push(Some(l)),
+                }
+            }
+            out
+        };
+        // Exactly at the cap is fine; one byte over is not.
+        assert_eq!(read_all("abcd\n", 4), vec![Some("abcd".to_string())]);
+        assert_eq!(read_all("abcde\n", 4), vec![None]);
+        // CRLF is stripped like BufRead::lines does; the \r counts toward
+        // the cap only as a buffered byte.
+        assert_eq!(read_all("ab\r\n", 4), vec![Some("ab".to_string())]);
+        // A final unterminated line is still delivered.
+        assert_eq!(
+            read_all("a\nb", 4),
+            vec![Some("a".to_string()), Some("b".to_string())]
+        );
+        // Oversize draining stays line-synchronised across small fill_buf
+        // chunks (reader capacity 7 forces many chunks).
+        assert_eq!(
+            read_all("0123456789012345678901234567890\nok\n", 8),
+            vec![None, Some("ok".to_string())]
+        );
+        assert_eq!(read_all("", 4), Vec::<Option<String>>::new());
+    }
+
+    #[test]
     fn tcp_round_trip() {
         use std::io::{BufRead, BufReader, Write};
         use std::sync::mpsc;
@@ -582,6 +809,7 @@ mod tests {
             let engine = Engine::new(EngineConfig {
                 threads: 1,
                 cache_capacity: 8,
+                ..EngineConfig::default()
             });
             serve_tcp(&engine, "127.0.0.1:0", move |addr| {
                 addr_tx.send(addr).unwrap();

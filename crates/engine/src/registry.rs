@@ -12,9 +12,38 @@ use crate::accountant::BudgetAccountant;
 use crate::error::EngineError;
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
-use privcluster_geometry::{Dataset, GeometryIndex, GridDomain};
+use privcluster_geometry::{
+    BackendKind, Dataset, GeometryBackend, GeometryIndex, GridDomain, ProjectedBackend,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// How a registration picks the dataset's geometry backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Exact below the engine's configured point threshold
+    /// (`EngineConfig::exact_backend_max_points`), projected above it.
+    #[default]
+    Auto,
+    /// Force the exact `O(n²)` distance matrix regardless of size.
+    Exact,
+    /// Force the sub-quadratic projected backend regardless of size.
+    Projected,
+}
+
+impl BackendChoice {
+    /// Parses the wire name (`"auto"`, `"exact"`, `"projected"`).
+    pub fn parse(name: &str) -> Result<Self, EngineError> {
+        match name {
+            "auto" => Ok(BackendChoice::Auto),
+            "exact" => Ok(BackendChoice::Exact),
+            "projected" => Ok(BackendChoice::Projected),
+            other => Err(EngineError::Protocol(format!(
+                "field `backend` must be \"auto\", \"exact\" or \"projected\", got `{other}`"
+            ))),
+        }
+    }
+}
 
 /// One registered dataset.
 #[derive(Debug)]
@@ -23,22 +52,30 @@ pub struct DatasetEntry {
     dataset: Dataset,
     domain: GridDomain,
     accountant: Mutex<BudgetAccountant>,
-    /// The shared per-dataset geometry index (`O(n² d)` pairwise distances
-    /// plus memoised `L` profiles), built once — at registration by the
-    /// engine, or on first use — and reused by every later query. Datasets
-    /// are immutable, so the index can never go stale.
-    index: OnceLock<Arc<GeometryIndex>>,
+    /// Which geometry backend serves this dataset (resolved from the
+    /// registration's [`BackendChoice`] at admission, so readers never see
+    /// `Auto`).
+    backend_kind: BackendKind,
+    /// The shared per-dataset geometry backend — the exact
+    /// `O(n² d)`-distances [`GeometryIndex`] or the sub-quadratic
+    /// [`ProjectedBackend`], per `backend_kind` — built once (at
+    /// registration by the engine, or on first use) and reused by every
+    /// later query. Datasets are immutable, so it can never go stale.
+    backend: OnceLock<Arc<dyn GeometryBackend>>,
 }
 
 impl DatasetEntry {
     /// Builds an entry, validating that the data lives in the domain's
-    /// ambient dimension.
+    /// ambient dimension. `backend_kind` must already be resolved (the
+    /// engine maps [`BackendChoice::Auto`] to a concrete kind using its
+    /// size threshold before constructing the entry).
     pub fn new(
         name: impl Into<String>,
         dataset: Dataset,
         domain: GridDomain,
         budget: PrivacyParams,
         mode: CompositionMode,
+        backend_kind: BackendKind,
     ) -> Result<Self, EngineError> {
         let name = name.into();
         if dataset.dim() != domain.dim() {
@@ -54,24 +91,31 @@ impl DatasetEntry {
             dataset,
             domain,
             accountant: Mutex::new(accountant),
-            index: OnceLock::new(),
+            backend_kind,
+            backend: OnceLock::new(),
         })
     }
 
-    /// The entry's shared [`GeometryIndex`], building it with up to
-    /// `threads` workers on first call and returning the cached copy (an
-    /// `O(1)` `Arc` clone) ever after. Builds are bit-identical at any
-    /// thread count, so it does not matter which caller wins the race.
-    pub fn geometry_index(&self, threads: usize) -> Arc<GeometryIndex> {
-        Arc::clone(
-            self.index
-                .get_or_init(|| Arc::new(GeometryIndex::build(&self.dataset, threads))),
-        )
+    /// The entry's shared [`GeometryBackend`], building it on first call —
+    /// with up to `threads` workers when the kind is exact — and returning
+    /// the cached copy (an `O(1)` `Arc` clone) ever after. Builds are
+    /// bit-identical at any thread count, so it does not matter which
+    /// caller wins the race.
+    pub fn backend(&self, threads: usize) -> Arc<dyn GeometryBackend> {
+        Arc::clone(self.backend.get_or_init(|| match self.backend_kind {
+            BackendKind::Exact => Arc::new(GeometryIndex::build(&self.dataset, threads)),
+            BackendKind::Projected => Arc::new(ProjectedBackend::build_default(&self.dataset)),
+        }))
     }
 
-    /// Whether the geometry index has been built yet (diagnostics/tests).
-    pub fn has_geometry_index(&self) -> bool {
-        self.index.get().is_some()
+    /// Which backend kind serves this dataset.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend_kind
+    }
+
+    /// Whether the geometry backend has been built yet (diagnostics/tests).
+    pub fn has_backend(&self) -> bool {
+        self.backend.get().is_some()
     }
 
     /// The dataset's registered name.
@@ -166,6 +210,7 @@ mod tests {
             GridDomain::unit_cube(2, 1 << 8).unwrap(),
             PrivacyParams::new(1.0, 1e-6).unwrap(),
             CompositionMode::Basic,
+            BackendKind::Exact,
         )
         .unwrap()
     }
@@ -200,8 +245,44 @@ mod tests {
             GridDomain::unit_cube(2, 1 << 8).unwrap(),
             PrivacyParams::new(1.0, 1e-6).unwrap(),
             CompositionMode::Basic,
+            BackendKind::Exact,
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn entry_builds_the_backend_its_kind_names() {
+        let registry = DatasetRegistry::new();
+        let exact = registry.register(entry("exact")).unwrap();
+        assert!(!exact.has_backend());
+        assert_eq!(exact.backend(2).kind(), BackendKind::Exact);
+        assert!(exact.has_backend());
+
+        let projected = DatasetEntry::new(
+            "projected",
+            Dataset::from_rows(vec![vec![0.5, 0.5]; 10]).unwrap(),
+            GridDomain::unit_cube(2, 1 << 8).unwrap(),
+            PrivacyParams::new(1.0, 1e-6).unwrap(),
+            CompositionMode::Basic,
+            BackendKind::Projected,
+        )
+        .unwrap();
+        assert_eq!(projected.backend_kind(), BackendKind::Projected);
+        assert_eq!(projected.backend(1).kind(), BackendKind::Projected);
+        // Later calls return the same shared backend.
+        assert!(Arc::ptr_eq(&projected.backend(1), &projected.backend(4)));
+    }
+
+    #[test]
+    fn backend_choice_parses_wire_names() {
+        assert_eq!(BackendChoice::parse("auto").unwrap(), BackendChoice::Auto);
+        assert_eq!(BackendChoice::parse("exact").unwrap(), BackendChoice::Exact);
+        assert_eq!(
+            BackendChoice::parse("projected").unwrap(),
+            BackendChoice::Projected
+        );
+        assert!(BackendChoice::parse("mystery").is_err());
+        assert_eq!(BackendChoice::default(), BackendChoice::Auto);
     }
 
     #[test]

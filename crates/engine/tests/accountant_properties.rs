@@ -105,7 +105,9 @@ proptest! {
         eps in 0.05f64..0.4,
         repeats in 1usize..4,
     ) {
-        let engine = Engine::new(EngineConfig { threads: 1, cache_capacity: 16 });
+        let engine = Engine::new(EngineConfig { threads: 1, cache_capacity: 16,
+    ..EngineConfig::default()
+});
         let domain = GridDomain::unit_cube(1, 64).unwrap();
         let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 8) as f64 / 8.0]).collect();
         engine

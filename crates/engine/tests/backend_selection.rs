@@ -1,0 +1,126 @@
+//! Backend selection is deterministic, threshold-driven, and produces
+//! bit-identical query results at every worker-thread count.
+
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_engine::{BackendChoice, Engine, EngineConfig, Query, QueryRequest};
+use privcluster_geometry::{BackendKind, Dataset, GridDomain};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine(threads: usize, exact_max: usize) -> Engine {
+    Engine::new(EngineConfig {
+        threads,
+        cache_capacity: 0, // every query truly executes
+        exact_backend_max_points: exact_max,
+    })
+}
+
+fn data(n: usize) -> (Dataset, GridDomain) {
+    let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+    let mut rng = StdRng::seed_from_u64(21);
+    let inst = planted_ball_cluster(&domain, n, n / 2, 0.02, &mut rng);
+    (inst.data, domain)
+}
+
+#[test]
+fn auto_selection_follows_the_size_threshold() {
+    let engine = engine(1, 100);
+    let budget = PrivacyParams::new(100.0, 1e-4).unwrap();
+    let (small, domain) = data(100); // exactly at the threshold: exact
+    let status = engine
+        .register_dataset("small", small, domain, budget, CompositionMode::Basic)
+        .unwrap();
+    assert_eq!(status.backend, BackendKind::Exact);
+    let (large, domain) = data(101); // one past the threshold: projected
+    let status = engine
+        .register_dataset("large", large, domain, budget, CompositionMode::Basic)
+        .unwrap();
+    assert_eq!(status.backend, BackendKind::Projected);
+
+    // Explicit overrides beat the threshold in both directions.
+    let (forced_proj, domain) = data(60);
+    let status = engine
+        .register_dataset_with_backend(
+            "forced_proj",
+            forced_proj,
+            domain,
+            budget,
+            CompositionMode::Basic,
+            BackendChoice::Projected,
+        )
+        .unwrap();
+    assert_eq!(status.backend, BackendKind::Projected);
+    let (forced_exact, domain) = data(200);
+    let status = engine
+        .register_dataset_with_backend(
+            "forced_exact",
+            forced_exact,
+            domain,
+            budget,
+            CompositionMode::Basic,
+            BackendChoice::Exact,
+        )
+        .unwrap();
+    assert_eq!(status.backend, BackendKind::Exact);
+}
+
+#[test]
+fn projected_backend_results_are_bit_identical_across_thread_counts() {
+    // The same projected-backend dataset registered into engines with 1, 2
+    // and 4 worker threads must answer every query family identically —
+    // backend builds and per-query RNG streams are both deterministic, so
+    // thread count can never leak into released values.
+    let requests: Vec<QueryRequest> = vec![
+        QueryRequest {
+            dataset: "d".into(),
+            seed: 11,
+            privacy: PrivacyParams::new(2.0, 1e-6).unwrap(),
+            query: Query::GoodRadius { t: 150, beta: 0.1 },
+        },
+        QueryRequest {
+            dataset: "d".into(),
+            seed: 12,
+            privacy: PrivacyParams::new(2.0, 1e-6).unwrap(),
+            query: Query::OneCluster {
+                t: 150,
+                beta: 0.1,
+                paper_constants: false,
+            },
+        },
+        QueryRequest {
+            dataset: "d".into(),
+            seed: 13,
+            privacy: PrivacyParams::new(2.0, 1e-6).unwrap(),
+            query: Query::KCluster {
+                k: 2,
+                t: 100,
+                beta: 0.1,
+            },
+        },
+    ];
+    let mut transcripts = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let engine = engine(threads, 100);
+        let (dataset, domain) = data(300); // above the threshold: projected
+        let status = engine
+            .register_dataset(
+                "d",
+                dataset,
+                domain,
+                PrivacyParams::new(100.0, 1e-4).unwrap(),
+                CompositionMode::Basic,
+            )
+            .unwrap();
+        assert_eq!(status.backend, BackendKind::Projected);
+        let batch: Vec<_> = engine
+            .run_batch(&requests)
+            .into_iter()
+            .map(|r| r.expect("projected queries succeed").value)
+            .collect();
+        transcripts.push(batch);
+    }
+    assert_eq!(transcripts[0], transcripts[1], "1 vs 2 threads diverged");
+    assert_eq!(transcripts[0], transcripts[2], "1 vs 4 threads diverged");
+}

@@ -24,6 +24,7 @@ fn engine_with_budget(mode: CompositionMode) -> Engine {
     let engine = Engine::new(EngineConfig {
         threads: 2,
         cache_capacity: 64,
+        ..EngineConfig::default()
     });
     let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
     let mut rng = StdRng::seed_from_u64(11);

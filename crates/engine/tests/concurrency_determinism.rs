@@ -16,6 +16,7 @@ fn fresh_engine(threads: usize) -> Engine {
     let engine = Engine::new(EngineConfig {
         threads,
         cache_capacity: 128,
+        ..EngineConfig::default()
     });
     let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
     let mut rng = StdRng::seed_from_u64(5);

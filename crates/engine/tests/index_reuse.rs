@@ -32,6 +32,7 @@ fn repeated_queries_never_rebuild_the_distance_matrix() {
     let engine = Engine::new(EngineConfig {
         threads: 2,
         cache_capacity: 0, // no caching: every query truly executes
+        ..EngineConfig::default()
     });
     let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
     let mut rng = StdRng::seed_from_u64(11);

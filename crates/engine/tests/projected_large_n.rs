@@ -1,0 +1,117 @@
+//! A large dataset served by the projected backend never allocates the
+//! `8·n²` exact distance matrix — at `n = 50_000` that matrix would be
+//! 20 GB, so a single build here is the difference between "works" and
+//! "OOM-kills the service".
+//!
+//! `distance::debug_build_count()` counts every `DistanceMatrix` build in
+//! the process (debug builds only). This file holds exactly **one** test
+//! so nothing else in the binary races the counter: registration, a
+//! GoodRadius query, a full OneCluster pipeline, and a 2-round KCluster
+//! (whose second round runs on the uncovered remainder and must *also*
+//! stay sub-quadratic via `rebuild_for`) must together perform **zero**
+//! matrix builds. The CI memory-ceiling smoke step pins the same property
+//! across the process boundary in release mode.
+
+use privcluster_datagen::planted_ball_cluster;
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_engine::{Engine, EngineConfig, Query, QueryRequest, QueryValue};
+use privcluster_geometry::distance::debug_build_count;
+use privcluster_geometry::{BackendKind, GridDomain};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 50_000;
+
+fn request(seed: u64, query: Query) -> QueryRequest {
+    QueryRequest {
+        dataset: "large".into(),
+        seed,
+        privacy: PrivacyParams::new(4.0, 1e-6).unwrap(),
+        query,
+    }
+}
+
+#[test]
+fn fifty_thousand_points_never_build_the_exact_matrix() {
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 0, // no caching: every query truly executes
+        ..EngineConfig::default()
+    });
+    let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let inst = planted_ball_cluster(&domain, N, N / 2, 0.02, &mut rng);
+
+    let before = debug_build_count();
+    let status = engine
+        .register_dataset(
+            "large",
+            inst.data,
+            domain,
+            PrivacyParams::new(1e6, 0.4).unwrap(),
+            CompositionMode::Basic,
+        )
+        .unwrap();
+    assert_eq!(
+        status.backend,
+        BackendKind::Projected,
+        "auto selection must route n = {N} past the exact threshold"
+    );
+    assert_eq!(status.points, N);
+
+    // One query per index-served family. Seeds are distinct so nothing
+    // could be cache-served even if caching were on.
+    let radius = engine
+        .query(&request(
+            1,
+            Query::GoodRadius {
+                t: N / 2,
+                beta: 0.1,
+            },
+        ))
+        .unwrap();
+    match radius.value {
+        QueryValue::Radius { radius } => assert!(radius.is_finite() && radius >= 0.0),
+        other => panic!("expected a radius, got {other:?}"),
+    }
+
+    let one = engine
+        .query(&request(
+            2,
+            Query::OneCluster {
+                t: N / 2,
+                beta: 0.1,
+                paper_constants: false,
+            },
+        ))
+        .unwrap();
+    match one.value {
+        QueryValue::Ball { captured, .. } => assert!(captured <= N),
+        other => panic!("expected a ball, got {other:?}"),
+    }
+
+    // k = 2: the second round runs on the uncovered remainder and must go
+    // through `rebuild_for` (a fresh projected backend), not an exact
+    // rebuild.
+    let kc = engine
+        .query(&request(
+            3,
+            Query::KCluster {
+                k: 2,
+                t: N / 4,
+                beta: 0.1,
+            },
+        ))
+        .unwrap();
+    match kc.value {
+        QueryValue::Balls { ref balls, .. } => assert!(!balls.is_empty()),
+        ref other => panic!("expected balls, got {other:?}"),
+    }
+
+    assert_eq!(
+        debug_build_count(),
+        before,
+        "the projected path must perform zero DistanceMatrix builds"
+    );
+}

@@ -18,6 +18,7 @@ fn canned_requests_reproduce_the_golden_transcript() {
     let engine = Engine::new(EngineConfig {
         threads: 2,
         cache_capacity: 32,
+        ..EngineConfig::default()
     });
     let mut out = Vec::new();
     protocol::serve_lines(&engine, REQUESTS.as_bytes(), &mut out).unwrap();

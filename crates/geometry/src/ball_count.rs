@@ -19,6 +19,34 @@ use crate::dataset::Dataset;
 use crate::distance::DistanceMatrix;
 use crate::tol;
 
+#[cfg(debug_assertions)]
+static PROFILE_BUILD_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many `L(·, S)` profile builds have run in this process — both the
+/// exact `O(n² log² n)` sweep of [`BallCounter::l_profile`] and the
+/// projected backend's weighted sweep. Always 0 in release builds (the
+/// counter only exists under `debug_assertions`); tests assert on *deltas*.
+/// This is the profile-level twin of
+/// [`distance::debug_build_count`](crate::distance::debug_build_count): it
+/// lets tests prove that a profile cache really bounds rebuild work under
+/// adversarial cap rotation.
+pub fn debug_profile_build_count() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        PROFILE_BUILD_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// Records one profile build (no-op in release builds).
+pub(crate) fn note_profile_build() {
+    #[cfg(debug_assertions)]
+    PROFILE_BUILD_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Efficient evaluator for `B_r`, `B̄_r` and `L(r, S)` at many radii.
 #[derive(Debug, Clone)]
 pub struct BallCounter {
@@ -128,6 +156,7 @@ impl BallCounter {
     /// radii, so this is the difference between a quadratic and a quartic
     /// algorithm.
     pub fn l_profile(&self) -> LProfile {
+        note_profile_build();
         let n = self.n;
         let cap = self.cap;
         // Events: (distance, center index). Includes the zero self-distance.
@@ -178,6 +207,17 @@ pub struct LProfile {
 }
 
 impl LProfile {
+    /// Assembles a profile from parallel breakpoint/value vectors (used by
+    /// the projected backend's weighted sweep, which produces the same
+    /// shape from bucketed data).
+    pub(crate) fn from_parts(breakpoints: Vec<f64>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(breakpoints.len(), values.len());
+        LProfile {
+            breakpoints,
+            values,
+        }
+    }
+
     /// Evaluates `L(r, S)`.
     ///
     /// Exactly equal to `BallCounter::l_value(r)` except when `r` lies
@@ -210,9 +250,11 @@ impl LProfile {
 }
 
 /// A Fenwick-tree-backed multiset over integer values `1..=cap` supporting
-/// "sum of the largest `t` elements" queries.
+/// "sum of the largest `t` elements" queries. Shared with the projected
+/// backend's weighted profile sweep, which inserts whole buckets at once via
+/// [`TopSumTree::update`]'s multiplicity argument.
 #[derive(Debug, Clone)]
-struct TopSumTree {
+pub(crate) struct TopSumTree {
     cap: usize,
     count_tree: Vec<usize>,
     sum_tree: Vec<u64>,
@@ -221,7 +263,7 @@ struct TopSumTree {
 }
 
 impl TopSumTree {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         TopSumTree {
             cap,
             count_tree: vec![0; cap + 1],
@@ -231,7 +273,7 @@ impl TopSumTree {
         }
     }
 
-    fn update(&mut self, value: usize, count_delta: i64) {
+    pub(crate) fn update(&mut self, value: usize, count_delta: i64) {
         debug_assert!(value >= 1 && value <= self.cap);
         let mut i = value;
         while i <= self.cap {
@@ -265,7 +307,7 @@ impl TopSumTree {
 
     /// Sum of the `t` largest elements currently stored (elements missing to
     /// reach `t` count as zero).
-    fn top_sum(&self, t: usize) -> u64 {
+    pub(crate) fn top_sum(&self, t: usize) -> u64 {
         if self.total_count <= t {
             return self.total_sum;
         }

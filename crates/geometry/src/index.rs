@@ -30,9 +30,12 @@ use std::sync::{Arc, Mutex};
 /// client-controlled in an engine deployment (it arrives on the query wire),
 /// so an unbounded map would let an adversarial query stream `t = 1, 2, 3…`
 /// grow `O(n)` profiles of up to `O(n²)` bytes each — a memory-exhaustion
-/// vector. Beyond this bound the oldest memoised cap is evicted (profiles
-/// are deterministic, so eviction can only cost rebuild time, never change
-/// a result); honest workloads reuse a handful of caps and never evict.
+/// vector. Beyond this bound the **least-recently-used** memoised cap is
+/// evicted (profiles are deterministic, so eviction can only cost rebuild
+/// time, never change a result); honest workloads reuse a handful of caps
+/// and never evict. The policy matches the engine's `ResultCache`: a FIFO
+/// policy here let an adversarial client rotate fresh caps to evict a hot,
+/// constantly-reused cap and force its `O(n² log² n)` rebuild every time.
 pub const MAX_CACHED_PROFILES: usize = 8;
 
 /// Precomputed pairwise-distance geometry of one dataset, shareable across
@@ -41,15 +44,54 @@ pub const MAX_CACHED_PROFILES: usize = 8;
 pub struct GeometryIndex {
     dm: DistanceMatrix,
     /// Lazily-built `L(·, S)` profiles, keyed by the cap `t` and bounded by
-    /// [`MAX_CACHED_PROFILES`] (FIFO eviction, tracked by `profile_order`).
+    /// [`MAX_CACHED_PROFILES`] (LRU eviction).
     profiles: Mutex<ProfileCache>,
 }
 
+/// A bounded, least-recently-used memo of `L(·, S)` profiles keyed by cap.
+/// Shared by the exact [`GeometryIndex`] and the projected backend
+/// ([`crate::backend::ProjectedBackend`]), which face the same
+/// client-controlled-cap memory-exhaustion vector.
 #[derive(Debug, Default)]
-struct ProfileCache {
+pub(crate) struct ProfileCache {
     by_cap: HashMap<usize, Arc<LProfile>>,
-    /// Insertion order of the memoised caps, oldest first.
+    /// Memoised caps, least-recently-used first.
     order: VecDeque<usize>,
+}
+
+impl ProfileCache {
+    /// Looks up a cap, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, cap: usize) -> Option<Arc<LProfile>> {
+        let hit = self.by_cap.get(&cap).cloned();
+        if hit.is_some() {
+            self.touch(cap);
+        }
+        hit
+    }
+
+    /// Inserts a built profile, evicting the least-recently-used cap at
+    /// capacity. The map never exceeds [`MAX_CACHED_PROFILES`] entries, so
+    /// the linear `touch` scan is O(1) in practice.
+    pub(crate) fn insert(&mut self, cap: usize, profile: Arc<LProfile>) {
+        if self.by_cap.len() >= MAX_CACHED_PROFILES && !self.by_cap.contains_key(&cap) {
+            if let Some(lru) = self.order.pop_front() {
+                self.by_cap.remove(&lru);
+            }
+        }
+        self.by_cap.insert(cap, profile);
+        self.touch(cap);
+    }
+
+    fn touch(&mut self, cap: usize) {
+        if let Some(pos) = self.order.iter().position(|&c| c == cap) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(cap);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.by_cap.len()
+    }
 }
 
 impl GeometryIndex {
@@ -92,8 +134,9 @@ impl GeometryIndex {
     }
 
     /// The `L(·, S)` profile for cap `t`, built on first use and memoised
-    /// (up to [`MAX_CACHED_PROFILES`] distinct caps, oldest evicted first).
-    /// Identical (bit-for-bit) to `BallCounter::new(data, t).l_profile()`.
+    /// (up to [`MAX_CACHED_PROFILES`] distinct caps, least-recently-used
+    /// evicted first). Identical (bit-for-bit) to
+    /// `BallCounter::new(data, t).l_profile()`.
     ///
     /// # Panics
     /// Panics if `cap == 0`.
@@ -107,23 +150,16 @@ impl GeometryIndex {
             .profiles
             .lock()
             .expect("profile cache lock poisoned")
-            .by_cap
-            .get(&cap)
+            .get(cap)
         {
-            return Arc::clone(profile);
+            return profile;
         }
         let built = Arc::new(self.ball_counter(cap).l_profile());
         let mut cache = self.profiles.lock().expect("profile cache lock poisoned");
-        if let Some(existing) = cache.by_cap.get(&cap) {
-            return Arc::clone(existing); // a racer finished first
+        if let Some(existing) = cache.get(cap) {
+            return existing; // a racer finished first
         }
-        if cache.by_cap.len() >= MAX_CACHED_PROFILES {
-            if let Some(oldest) = cache.order.pop_front() {
-                cache.by_cap.remove(&oldest);
-            }
-        }
-        cache.order.push_back(cap);
-        cache.by_cap.insert(cap, Arc::clone(&built));
+        cache.insert(cap, Arc::clone(&built));
         built
     }
 
@@ -132,7 +168,6 @@ impl GeometryIndex {
         self.profiles
             .lock()
             .expect("profile cache lock poisoned")
-            .by_cap
             .len()
     }
 }
@@ -192,6 +227,24 @@ mod tests {
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(rebuilt.breakpoints()), bits(fresh.breakpoints()));
         assert_eq!(bits(rebuilt.values()), bits(fresh.values()));
+    }
+
+    #[test]
+    fn profile_eviction_is_lru_not_fifo() {
+        let index = GeometryIndex::build(&data(), 1);
+        for cap in 1..=MAX_CACHED_PROFILES {
+            let _ = index.l_profile(cap);
+        }
+        // Touch cap 1 — the oldest *inserted* cap, i.e. exactly the entry a
+        // FIFO policy would evict next — then force one eviction.
+        let hot = index.l_profile(1);
+        let _ = index.l_profile(MAX_CACHED_PROFILES + 1);
+        assert_eq!(index.cached_profiles(), MAX_CACHED_PROFILES);
+        let again = index.l_profile(1);
+        assert!(
+            Arc::ptr_eq(&hot, &again),
+            "recently-used cap was evicted: the cache is FIFO, not LRU"
+        );
     }
 
     #[test]

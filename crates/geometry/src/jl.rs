@@ -63,6 +63,23 @@ impl JlTransform {
         k.clamp(1, source_dim.max(1))
     }
 
+    /// The sub-quadratic backend's target dimension, `k = ⌈8 ln(n + 2)⌉`
+    /// capped at the source dimension. Deliberately smaller than
+    /// [`JlTransform::paper_target_dim`]'s constant-46 choice — and
+    /// deliberately **below** what Lemma 4.10 needs for a vanishing
+    /// failure bound (at η = 1/2 the lemma gives `2n² e^{−k/32}`, which
+    /// only drops below `n^{−1/2}` for `k ≳ 80 ln n`). At this `k` the
+    /// distortion control is heuristic; the backend's *binding* accuracy
+    /// contract is its explicit additive slack in projected space (see the
+    /// backend module's approximation-contract docs), not a JL guarantee.
+    /// Callers who need Lemma 4.10's bound should set
+    /// `ProjectedConfig::target_dim` explicitly (e.g. from
+    /// [`JlTransform::paper_target_dim`]) and pay the larger build.
+    pub fn backend_target_dim(n: usize, source_dim: usize) -> usize {
+        let k = (8.0 * ((n + 2) as f64).ln()).ceil() as usize;
+        k.clamp(1, source_dim.max(1))
+    }
+
     /// Source dimension `d`.
     pub fn input_dim(&self) -> usize {
         self.input_dim

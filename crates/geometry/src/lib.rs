@@ -17,8 +17,11 @@
 //!   points" (fact 3 in §3 of the paper), and an exhaustive small-case solver
 //!   ([`meb`]);
 //! * pairwise-distance structures that make evaluating the paper's `L(r, S)`
-//!   function cheap for many radii ([`distance`]), and the shareable
-//!   per-dataset [`index::GeometryIndex`] that pays for them once;
+//!   function cheap for many radii ([`distance`]), the shareable
+//!   per-dataset [`index::GeometryIndex`] that pays for them once, and the
+//!   pluggable [`backend::GeometryBackend`] abstraction whose
+//!   [`backend::ProjectedBackend`] answers the same queries
+//!   sub-quadratically from JL-projected, grid-bucketed samples;
 //! * the single tolerance definition every distance comparison goes through
 //!   ([`tol`]), and the scoped-thread worker pool used for parallel matrix
 //!   fills and by the engine's batch executor ([`pool`]);
@@ -31,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod ball;
 pub mod ball_count;
 pub mod box_region;
@@ -48,6 +52,7 @@ pub mod pool;
 pub mod rotation;
 pub mod tol;
 
+pub use backend::{BackendKind, GeometryBackend, ProjectedBackend, ProjectedConfig};
 pub use ball::Ball;
 pub use ball_count::BallCounter;
 pub use box_region::AxisAlignedBox;

@@ -171,6 +171,18 @@ impl BoxPartition {
         hist
     }
 
+    /// Number of distinct occupied cells among `points` — `O(n k)`, no
+    /// dataset required. The projected geometry backend probes candidate
+    /// cell widths with this while it searches for the finest grid whose
+    /// bucket count fits its budget.
+    pub fn occupied_cell_count(&self, points: &[Point]) -> usize {
+        let mut cells: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+        for p in points {
+            cells.insert(self.cell_of(p));
+        }
+        cells.len()
+    }
+
     /// The occupancy of the fullest cell — GoodCenter's query
     /// `q(S) = max_j |f(S) ∩ B_j|` (step 5). Returns 0 for an empty dataset.
     pub fn max_cell_count(&self, data: &Dataset) -> usize {

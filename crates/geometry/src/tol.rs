@@ -78,6 +78,18 @@ pub fn within_radius_sq(d2: f64, r2: f64) -> bool {
     d2 <= ball_threshold_sq(r2)
 }
 
+/// Whether a point at distance `d` lies within the closed ball of radius
+/// `r` once `r` is widened by an approximation backend's additive `slack`
+/// (see `GeometryBackend::radius_slack` in the backend module). With
+/// `slack = 0` this is exactly [`within_radius`]; a positive slack is how
+/// the projected backend's documented error bound is phrased in terms of
+/// the unified tolerance, so tests and callers compare approximate answers
+/// against exact ones without inventing a second epsilon scheme.
+#[inline]
+pub fn within_radius_slack(d: f64, r: f64, slack: f64) -> bool {
+    within_radius(d, r + slack)
+}
+
 /// The inflated squared-radius threshold `r2·(1+REL) + ABS_SQ`, exposed so
 /// coverage scans can precompute it once per ball and early-exit on partial
 /// squared distances while staying bit-consistent with [`within_radius_sq`].

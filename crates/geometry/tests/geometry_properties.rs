@@ -2,7 +2,8 @@
 
 use privcluster_geometry::{
     smallest_ball_two_approx, tol, welzl_meb, AxisAlignedBox, Ball, BallCounter, BoxPartition,
-    Dataset, DistanceMatrix, GeometryIndex, JlTransform, OrthonormalBasis, Point,
+    Dataset, DistanceMatrix, GeometryBackend, GeometryIndex, JlTransform, OrthonormalBasis, Point,
+    ProjectedBackend, ProjectedConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -257,6 +258,105 @@ proptest! {
                 prop_assert_eq!(bits(profile.values()), bits(fresh.values()));
             }
             prop_assert_eq!(index.cached_profiles(), 1);
+        }
+    }
+
+    /// The projected backend's counts and profile values are bracketed by
+    /// the exact backend's answers at radii shifted by the documented slack
+    /// (`radius_slack = 2·displacement`), on random datasets and random
+    /// bucket budgets — the approximation contract of the backend module.
+    #[test]
+    fn projected_backend_brackets_exact_within_documented_slack(
+        data in dataset(36, 2),
+        max_buckets in 4usize..48,
+        cap_sel in 1usize..10,
+        probe in 0.0f64..2.0,
+    ) {
+        let exact = GeometryIndex::build(&data, 1);
+        let projected = ProjectedBackend::build(&data, ProjectedConfig {
+            max_buckets: Some(max_buckets),
+            ..ProjectedConfig::default()
+        });
+        let cap = 1 + cap_sel % data.len();
+        let slack = projected.radius_slack();
+        prop_assert!(slack >= 0.0 && slack.is_finite());
+        let margin = slack * (1.0 + 1e-9) + 1e-12;
+        for i in 0..data.len() {
+            let approx = projected.count_within(i, probe);
+            // Upper bracket phrased exactly as the contract states it,
+            // through the tolerance layer: every point the backend counts
+            // at radius r is a point the exact metric admits once r is
+            // widened by the slack.
+            let hi = data
+                .iter()
+                .filter(|p| tol::within_radius_slack(data.point(i).distance(p), probe, margin))
+                .count();
+            prop_assert_eq!(hi, exact.distances().count_within(i, probe + margin));
+            let lo = if probe >= margin {
+                exact.distances().count_within(i, probe - margin)
+            } else {
+                0
+            };
+            prop_assert!(
+                lo <= approx && approx <= hi,
+                "count bracket violated: i={}, r={}, {} <= {} <= {}", i, probe, lo, approx, hi
+            );
+        }
+        let pp = projected.l_profile(cap);
+        let pe = exact.l_profile(cap);
+        let v = pp.value_at(probe);
+        prop_assert!(v <= pe.value_at(probe + margin) + 1e-9);
+        let lo = if probe >= margin { pe.value_at(probe - margin) } else { 0.0 };
+        prop_assert!(v + 1e-9 >= lo);
+        // Monotone step function, like the exact profile.
+        prop_assert!(pp.values().windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    /// Projected-backend builds are deterministic: repeated builds — and
+    /// builds racing on 1/2/4 concurrent threads — produce bit-identical
+    /// profiles, counts, and selection metadata.
+    #[test]
+    fn projected_backend_build_is_deterministic_across_threads(
+        data in dataset(24, 2),
+        max_buckets in 4usize..32,
+        cap_sel in 1usize..6,
+    ) {
+        let cap = 1 + cap_sel % data.len();
+        let config = ProjectedConfig {
+            max_buckets: Some(max_buckets),
+            ..ProjectedConfig::default()
+        };
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let reference = ProjectedBackend::build(&data, config);
+        let ref_profile = reference.l_profile(cap);
+        for threads in [1usize, 2, 4] {
+            let built: Vec<ProjectedBackend> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| scope.spawn(|| ProjectedBackend::build(&data, config)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for backend in built {
+                prop_assert_eq!(backend.bucket_count(), reference.bucket_count());
+                prop_assert_eq!(
+                    backend.cell_width().to_bits(),
+                    reference.cell_width().to_bits()
+                );
+                prop_assert_eq!(
+                    backend.radius_slack().to_bits(),
+                    reference.radius_slack().to_bits()
+                );
+                for i in 0..data.len() {
+                    prop_assert_eq!(
+                        backend.representative_of(i),
+                        reference.representative_of(i)
+                    );
+                    prop_assert_eq!(backend.count_within(i, 0.3), reference.count_within(i, 0.3));
+                }
+                let profile = backend.l_profile(cap);
+                prop_assert_eq!(bits(profile.breakpoints()), bits(ref_profile.breakpoints()));
+                prop_assert_eq!(bits(profile.values()), bits(ref_profile.values()));
+            }
         }
     }
 }

@@ -20,6 +20,7 @@ fn main() {
     let engine = Engine::new(EngineConfig {
         threads: 4,
         cache_capacity: 64,
+        ..EngineConfig::default()
     });
     engine
         .register_dataset(
@@ -88,6 +89,7 @@ fn main() {
     let fresh = Engine::new(EngineConfig {
         threads: 2,
         cache_capacity: 64,
+        ..EngineConfig::default()
     });
     let mut out = Vec::new();
     privcluster::engine::serve_lines(&fresh, script.as_bytes(), &mut out).unwrap();

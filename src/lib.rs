@@ -67,6 +67,9 @@ pub mod prelude {
     };
     pub use privcluster_dp::composition::CompositionMode;
     pub use privcluster_dp::PrivacyParams;
-    pub use privcluster_engine::{Engine, EngineConfig, Query, QueryRequest};
-    pub use privcluster_geometry::{Ball, Dataset, GeometryIndex, GridDomain, Point};
+    pub use privcluster_engine::{BackendChoice, Engine, EngineConfig, Query, QueryRequest};
+    pub use privcluster_geometry::{
+        BackendKind, Ball, Dataset, GeometryBackend, GeometryIndex, GridDomain, Point,
+        ProjectedBackend, ProjectedConfig,
+    };
 }

@@ -76,6 +76,7 @@ fn prelude_exposes_every_promised_name() {
     let engine = Engine::new(EngineConfig {
         threads: 1,
         cache_capacity: 4,
+        ..EngineConfig::default()
     });
     assert!(engine.dataset_names().is_empty());
     let _request_type_is_public = |r: QueryRequest| r;
