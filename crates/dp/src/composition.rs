@@ -13,6 +13,7 @@
 
 use crate::error::DpError;
 use crate::params::PrivacyParams;
+use serde::{Deserialize, Serialize, Value};
 
 /// Basic composition (Theorem 2.1): sums ε and δ over the parts.
 pub fn basic_composition(parts: &[PrivacyParams]) -> Result<PrivacyParams, DpError> {
@@ -105,6 +106,48 @@ pub enum CompositionMode {
     },
 }
 
+impl Serialize for CompositionMode {
+    /// The canonical wire encoding, shared by the engine's JSON-lines
+    /// protocol and the durability journal: `"basic"` or
+    /// `{"advanced":{"delta_prime":δ'}}`.
+    fn to_json_value(&self) -> Value {
+        match self {
+            CompositionMode::Basic => Value::String("basic".to_string()),
+            CompositionMode::Advanced { delta_prime } => Value::Object(vec![(
+                "advanced".to_string(),
+                Value::Object(vec![(
+                    "delta_prime".to_string(),
+                    Value::Number(*delta_prime),
+                )]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for CompositionMode {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::String(name) if name == "basic" => Ok(CompositionMode::Basic),
+            Value::Object(entries) => {
+                let advanced = entries
+                    .iter()
+                    .find(|(k, _)| k == "advanced")
+                    .map(|(_, v)| v)
+                    .ok_or("composition object must carry an `advanced` field")?;
+                let delta_prime = advanced
+                    .as_object()
+                    .and_then(|fields| fields.iter().find(|(k, _)| k == "delta_prime"))
+                    .and_then(|(_, v)| v.as_f64())
+                    .ok_or("advanced composition needs a numeric `delta_prime` field")?;
+                Ok(CompositionMode::Advanced { delta_prime })
+            }
+            other => Err(format!(
+                "composition must be \"basic\" or {{\"advanced\":{{...}}}}, got {other:?}"
+            )),
+        }
+    }
+}
+
 /// One entry of a [`PrivacyLedger`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LedgerEntry {
@@ -112,6 +155,33 @@ pub struct LedgerEntry {
     pub label: String,
     /// Its privacy parameters.
     pub params: PrivacyParams,
+}
+
+impl Serialize for LedgerEntry {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("label".to_string(), Value::String(self.label.clone())),
+            ("params".to_string(), self.params.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for LedgerEntry {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        let entries = value.as_object().ok_or("ledger entry must be an object")?;
+        let label = entries
+            .iter()
+            .find(|(k, _)| k == "label")
+            .and_then(|(_, v)| v.as_str())
+            .ok_or("ledger entry needs a string `label` field")?
+            .to_string();
+        let params = entries
+            .iter()
+            .find(|(k, _)| k == "params")
+            .map(|(_, v)| PrivacyParams::from_json_value(v))
+            .ok_or("ledger entry needs a `params` field")??;
+        Ok(LedgerEntry { label, params })
+    }
 }
 
 /// Records the privacy charges of an algorithm's sub-mechanisms.
@@ -278,6 +348,33 @@ impl PrivacyLedger {
     }
 }
 
+impl Serialize for PrivacyLedger {
+    /// Serializes the full charge history — the durable form a ledger takes
+    /// in the engine's journal snapshots. The composed totals are *not*
+    /// stored: they are recomputed from the entries on load, so a snapshot
+    /// can never disagree with its own charge list.
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![(
+            "entries".to_string(),
+            Value::Array(self.entries.iter().map(|e| e.to_json_value()).collect()),
+        )])
+    }
+}
+
+impl Deserialize for PrivacyLedger {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        let entries = value
+            .as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == "entries"))
+            .and_then(|(_, v)| v.as_array())
+            .ok_or("ledger must carry an `entries` array")?
+            .iter()
+            .map(LedgerEntry::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PrivacyLedger { entries })
+    }
+}
+
 /// Whether the composed pair `total` fits within `budget` (small relative
 /// slack for floating-point accumulation). Public so accountants layered on
 /// the ledger can report spend pairs consistently with this admission rule.
@@ -418,6 +515,46 @@ mod tests {
         one.charge("big", PrivacyParams::new(2.0, 1e-9).unwrap());
         let picked = one.total_under(mode).unwrap();
         assert!((picked.epsilon() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_mode_and_params_round_trip_bit_exactly() {
+        // The journal relies on JSON round trips being bit-exact: the
+        // vendored writer prints floats via Rust's shortest round-trip
+        // formatting, so to_bits must survive serialize → parse unchanged.
+        let awkward = PrivacyParams::new(0.1 + 0.2, 1e-300).unwrap();
+        let json = serde_json::to_string(&awkward).unwrap();
+        let back: PrivacyParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.epsilon().to_bits(), awkward.epsilon().to_bits());
+        assert_eq!(back.delta().to_bits(), awkward.delta().to_bits());
+
+        for mode in [
+            CompositionMode::Basic,
+            CompositionMode::Advanced {
+                delta_prime: 1e-7 * 1.0000000000000002,
+            },
+        ] {
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: CompositionMode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mode, "round trip failed for {json}");
+        }
+
+        let mut ledger = PrivacyLedger::new();
+        ledger.charge("q0", PrivacyParams::new(0.25, 2.5e-7).unwrap());
+        ledger.charge("q1", awkward);
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: PrivacyLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries(), ledger.entries());
+        assert_eq!(
+            back.total_basic().unwrap(),
+            ledger.total_basic().unwrap(),
+            "recomputed totals must match the original ledger"
+        );
+
+        let bad: Value = serde_json::from_str(r#"{"entries":[{"label":"x"}]}"#).unwrap();
+        assert!(PrivacyLedger::from_json_value(&bad).is_err());
+        let bad_mode: Value = serde_json::from_str(r#""fancy""#).unwrap();
+        assert!(CompositionMode::from_json_value(&bad_mode).is_err());
     }
 
     #[test]

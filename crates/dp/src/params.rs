@@ -10,12 +10,35 @@
 //! assume well-formed parameters.
 
 use crate::error::DpError;
+use serde::{Deserialize, Serialize, Value};
 
 /// A validated `(ε, δ)` pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivacyParams {
     epsilon: f64,
     delta: f64,
+}
+
+impl Serialize for PrivacyParams {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("epsilon".to_string(), Value::Number(self.epsilon)),
+            ("delta".to_string(), Value::Number(self.delta)),
+        ])
+    }
+}
+
+impl Deserialize for PrivacyParams {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        let field = |key: &str| -> Result<f64, String> {
+            value
+                .as_object()
+                .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+                .and_then(|(_, v)| v.as_f64())
+                .ok_or_else(|| format!("privacy params need a numeric `{key}` field"))
+        };
+        PrivacyParams::new(field("epsilon")?, field("delta")?).map_err(|e| e.to_string())
+    }
 }
 
 impl PrivacyParams {

@@ -74,6 +74,17 @@ impl BudgetAccountant {
         }
     }
 
+    /// Replays a committed charge from the durability journal into the
+    /// ledger, **without** re-checking the budget. Recovery must apply
+    /// every journaled charge unconditionally: the charge was admitted (and
+    /// possibly released) before the crash, so dropping or re-litigating it
+    /// would refund spent budget — the one thing the journal exists to
+    /// prevent. Never use this on the live admission path; that is
+    /// [`BudgetAccountant::try_charge`]'s job.
+    pub fn restore_charge(&mut self, label: impl Into<String>, params: PrivacyParams) {
+        self.ledger.charge(label, params);
+    }
+
     /// The composed spend so far under the selected theorem (`None` before
     /// any query was granted).
     ///
@@ -115,6 +126,16 @@ impl BudgetAccountant {
     pub fn remaining_epsilon(&self) -> f64 {
         let spent = self.composed_spend().map(|p| p.epsilon()).unwrap_or(0.0);
         (self.budget.epsilon() - spent).max(0.0)
+    }
+
+    /// δ headroom under the selected composition theorem: the budget's δ
+    /// minus the composed spend's δ (0 before any grant). The status
+    /// surface reports this next to [`BudgetAccountant::remaining_epsilon`]
+    /// so operators can audit both coordinates of the remaining budget
+    /// after a restart.
+    pub fn remaining_delta(&self) -> f64 {
+        let spent = self.composed_spend().map(|p| p.delta()).unwrap_or(0.0);
+        (self.budget.delta() - spent).max(0.0)
     }
 
     /// Number of granted queries.

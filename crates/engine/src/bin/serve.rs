@@ -1,26 +1,43 @@
 //! The engine's JSON-lines service front-end.
 //!
 //! ```text
-//! serve [--tcp ADDR] [--threads N] [--cache N]
+//! serve [--journal PATH [--snapshot-dir DIR] [--snapshot-every N] | --in-memory]
+//!       [--tcp ADDR] [--threads N] [--cache N]
 //! ```
 //!
 //! By default the service speaks newline-delimited JSON over stdin/stdout —
 //! ideal for piping canned request scripts (the CI smoke test does exactly
 //! that). With `--tcp ADDR` it listens on a socket instead. See the
 //! `privcluster_engine::protocol` docs for the request/response schema.
+//!
+//! Durability: with `--journal PATH` the engine runs in write-ahead mode —
+//! every registration and admitted budget charge is fsynced to the journal
+//! *before* its result is released, and restarting on the same journal
+//! recovers the spent budget exactly (never refunded). `--snapshot-dir`
+//! adds periodic snapshots (`--snapshot-every N` appends, default 1024) so
+//! recovery replays a bounded tail. Without `--journal` the service is
+//! volatile; pass `--in-memory` to make that explicit and silence the
+//! warning.
 
-use privcluster_engine::{protocol, Engine, EngineConfig};
+use privcluster_engine::{protocol, Engine, EngineConfig, StoreConfig};
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: serve [--tcp ADDR] [--threads N] [--cache N]");
+    eprintln!(
+        "usage: serve [--journal PATH [--snapshot-dir DIR] [--snapshot-every N] | --in-memory] \
+         [--tcp ADDR] [--threads N] [--cache N]"
+    );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut tcp_addr: Option<String> = None;
     let mut config = EngineConfig::default();
+    let mut journal: Option<String> = None;
+    let mut snapshot_dir: Option<String> = None;
+    let mut snapshot_every: usize = 1024;
+    let mut in_memory = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,12 +55,60 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--journal" => journal = Some(args.next().unwrap_or_else(|| usage())),
+            "--snapshot-dir" => snapshot_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--snapshot-every" => {
+                snapshot_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--in-memory" => in_memory = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
+    if in_memory && journal.is_some() {
+        eprintln!("serve: --in-memory and --journal are mutually exclusive");
+        usage();
+    }
+    if journal.is_none() && snapshot_dir.is_some() {
+        eprintln!("serve: --snapshot-dir needs --journal");
+        usage();
+    }
 
-    let engine = Engine::new(config);
+    let engine = match &journal {
+        Some(path) => {
+            let mut store_config = StoreConfig::journal_only(path);
+            store_config.snapshot_dir = snapshot_dir.map(Into::into);
+            store_config.snapshot_every = snapshot_every;
+            match Engine::open(config, store_config) {
+                Ok(engine) => {
+                    let durability = engine.durability();
+                    // Stderr only: stdout stays pure protocol.
+                    eprintln!(
+                        "privcluster-engine: journal {path} (seq {}, recovered: {})",
+                        durability.journal_seq, durability.recovered
+                    );
+                    engine
+                }
+                Err(e) => {
+                    eprintln!("serve: cannot open durable engine: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            if !in_memory {
+                eprintln!(
+                    "privcluster-engine: running IN-MEMORY — spent privacy budget will NOT \
+                     survive a restart; pass --journal PATH for durability or --in-memory \
+                     to silence this warning"
+                );
+            }
+            Engine::new(config)
+        }
+    };
     let served = match tcp_addr {
         Some(addr) => protocol::serve_tcp(&engine, &addr, |bound| {
             // Written to stderr so stdout stays pure protocol.

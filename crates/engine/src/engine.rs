@@ -18,6 +18,7 @@
 
 use crate::cache::ResultCache;
 use crate::error::EngineError;
+use crate::fingerprint::registration_fingerprint;
 use crate::planner::{plan, Plan};
 use crate::pool::run_on_pool;
 use crate::query::{QueryRequest, QueryValue};
@@ -25,6 +26,10 @@ use crate::registry::{BackendChoice, DatasetEntry, DatasetRegistry};
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
 use privcluster_geometry::{BackendKind, Dataset, GridDomain};
+use privcluster_store::{
+    ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, Store, StoreConfig, StoreRecord,
+};
+use serde::Serialize as _;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -90,6 +95,23 @@ pub struct DatasetStatus {
     pub spent: Option<PrivacyParams>,
     /// ε still unspent.
     pub remaining_epsilon: f64,
+    /// δ still unspent (the other coordinate of the remaining budget, so
+    /// operators can audit the full `(ε, δ)` headroom after a restart).
+    pub remaining_delta: f64,
+}
+
+/// The engine's durability posture, reported through `status` so operators
+/// can audit spend persistence after a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// Whether a journal backs this engine (false = explicit in-memory
+    /// mode: all budget state dies with the process).
+    pub journaled: bool,
+    /// Highest committed journal sequence number (0 when in-memory or
+    /// before the first commit).
+    pub journal_seq: u64,
+    /// Whether this engine recovered prior committed state at open.
+    pub recovered: bool,
 }
 
 /// The response to a granted (or cache-served) query.
@@ -119,6 +141,17 @@ pub struct Engine {
     /// cannot prevent that: it is only filled after execution).
     pending: Mutex<std::collections::HashSet<String>>,
     pending_done: std::sync::Condvar,
+    /// The write-ahead store (`None` = explicit in-memory mode). When
+    /// present, registrations and admitted charges are journaled — and
+    /// fsynced — *before* any result is released.
+    store: Option<Store>,
+    /// Whether this engine recovered committed state at open.
+    recovered: bool,
+    /// Serializes registration's check → journal → insert window so the
+    /// journal's registration order always matches the registry's
+    /// first-wins outcome (queries are untouched: they only take the
+    /// per-dataset accountant lock).
+    registration_serial: Mutex<()>,
 }
 
 impl Default for Engine {
@@ -128,7 +161,9 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an engine.
+    /// Creates an engine in explicit **in-memory** mode: no journal, all
+    /// budget state dies with the process. Use [`Engine::open`] for the
+    /// durable mode a deployment should run in.
     pub fn new(config: EngineConfig) -> Self {
         Engine {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
@@ -136,12 +171,146 @@ impl Engine {
             config,
             pending: Mutex::new(std::collections::HashSet::new()),
             pending_done: std::sync::Condvar::new(),
+            store: None,
+            recovered: false,
+            registration_serial: Mutex::new(()),
         }
+    }
+
+    /// Opens an engine backed by a durable [`Store`]: loads the newest
+    /// valid snapshot and the journal tail, replays them into a
+    /// bit-identical registry / accountant / replay-cache state, and wires
+    /// every later registration and admission through the write-ahead
+    /// journal.
+    ///
+    /// Replay applies **every** committed charge unconditionally — a charge
+    /// with no matching release (the crash window between journal commit
+    /// and result release) keeps its budget spent, never refunded — and
+    /// repopulates the zero-charge replay cache from the retained releases.
+    /// The store's release-retention bound is aligned to the engine's cache
+    /// capacity here, so a snapshot never carries replays the cache would
+    /// immediately evict.
+    pub fn open(config: EngineConfig, mut store_config: StoreConfig) -> Result<Self, EngineError> {
+        store_config.max_retained_releases = config.cache_capacity;
+        let (store, report) = Store::open(store_config)?;
+        if let Some(reason) = &report.torn_tail {
+            // A torn tail is a crash signature, not an error: the record was
+            // never acknowledged, so its result was never released. Committed
+            // records before it are all replayed.
+            eprintln!("privcluster-engine: journal had a torn tail (truncated): {reason}");
+        }
+        let mut engine = Engine::new(config);
+        engine.recovered = report.recovered;
+
+        for reg in report.state.registers() {
+            let kind = match reg.backend.as_str() {
+                "exact" => BackendKind::Exact,
+                "projected" => BackendKind::Projected,
+                other => {
+                    return Err(EngineError::Durability(format!(
+                        "journaled registration of `{}` names unknown backend `{other}`",
+                        reg.dataset
+                    )))
+                }
+            };
+            let domain = GridDomain::new(
+                reg.domain.dim,
+                reg.domain.size,
+                reg.domain.min,
+                reg.domain.max,
+            )
+            .map_err(|e| {
+                EngineError::Durability(format!(
+                    "journaled domain of `{}` does not validate: {e}",
+                    reg.dataset
+                ))
+            })?;
+            let dataset = Dataset::from_rows(reg.rows.clone()).map_err(|e| {
+                EngineError::Durability(format!(
+                    "journaled rows of `{}` do not validate: {e}",
+                    reg.dataset
+                ))
+            })?;
+            let rebuilt = registration_fingerprint(
+                &reg.dataset,
+                &dataset,
+                &domain,
+                reg.budget,
+                reg.mode,
+                kind,
+            );
+            if rebuilt != reg.fingerprint {
+                return Err(EngineError::Durability(format!(
+                    "registration fingerprint mismatch for `{}`: journal says {}, rebuilt {}",
+                    reg.dataset, reg.fingerprint, rebuilt
+                )));
+            }
+            let entry =
+                DatasetEntry::new(&reg.dataset, dataset, domain, reg.budget, reg.mode, kind)
+                    .map_err(|e| EngineError::Durability(e.to_string()))?;
+            let entry = engine
+                .registry
+                .register(entry)
+                .map_err(|e| EngineError::Durability(e.to_string()))?;
+            entry.backend(engine.config.threads.max(1));
+        }
+
+        for charge in report.state.charges() {
+            let entry = engine.registry.get(&charge.dataset).map_err(|_| {
+                EngineError::Durability(format!(
+                    "journaled charge {} references unregistered dataset `{}`",
+                    charge.fingerprint, charge.dataset
+                ))
+            })?;
+            entry
+                .accountant()
+                .restore_charge(&charge.label, charge.params);
+        }
+
+        {
+            let mut cache = lock_recover(&engine.cache);
+            for release in report.state.releases() {
+                match QueryValue::parse(&release.value) {
+                    Ok(value) => cache.insert(release.fingerprint.clone(), value),
+                    Err(e) => {
+                        // Conservative and available: a release that no longer
+                        // parses only loses its free replay — the charge
+                        // backing it was already restored above.
+                        eprintln!(
+                            "privcluster-engine: dropping unparseable journaled release {}: {e}",
+                            release.fingerprint
+                        );
+                    }
+                }
+            }
+        }
+
+        engine.store = Some(store);
+        Ok(engine)
     }
 
     /// The engine configuration.
     pub fn config(&self) -> EngineConfig {
         self.config
+    }
+
+    /// The engine's durability posture (journal presence, committed
+    /// sequence number, and whether this process recovered prior state).
+    pub fn durability(&self) -> DurabilityStatus {
+        DurabilityStatus {
+            journaled: self.store.is_some(),
+            journal_seq: self.store.as_ref().map(Store::last_seq).unwrap_or(0),
+            recovered: self.recovered,
+        }
+    }
+
+    /// Writes a snapshot of the current durable state immediately (no-op
+    /// returning `None` when in-memory or without a snapshot directory).
+    pub fn snapshot_now(&self) -> Result<Option<std::path::PathBuf>, EngineError> {
+        match &self.store {
+            Some(store) => Ok(store.snapshot_now()?),
+            None => Ok(None),
+        }
     }
 
     /// Registers an immutable dataset under `name` with a total privacy
@@ -189,7 +358,52 @@ impl Engine {
                 }
             }
         };
+        let name = name.into();
+        // The serial lock makes check → journal → insert one step, so the
+        // journal's registration order always matches which racer the
+        // write-once registry accepted (replay is first-wins by name).
+        let _serial = self
+            .registration_serial
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if self.registry.get(&name).is_ok() {
+            return Err(EngineError::DatasetExists(name));
+        }
+        // Validation first (a registration that cannot build an entry must
+        // never reach the journal — recovery replays every journaled
+        // registration and would refuse to start on an invalid one)...
         let entry = DatasetEntry::new(name, dataset, domain, budget, mode, kind)?;
+        // ...then write-ahead: the registration is durable before the
+        // dataset becomes visible — otherwise a crash could leave charges
+        // in the journal whose dataset the journal has never heard of.
+        if let Some(store) = &self.store {
+            store.append(StoreRecord::Register(RegisterRecord {
+                seq: 0, // assigned by the store
+                dataset: entry.name().to_string(),
+                domain: DomainSpec {
+                    dim: entry.domain().dim(),
+                    size: entry.domain().size(),
+                    min: entry.domain().min(),
+                    max: entry.domain().max(),
+                },
+                budget,
+                mode,
+                backend: kind.as_str().to_string(),
+                fingerprint: registration_fingerprint(
+                    entry.name(),
+                    entry.dataset(),
+                    entry.domain(),
+                    budget,
+                    mode,
+                    kind,
+                ),
+                rows: entry
+                    .dataset()
+                    .iter()
+                    .map(|p| p.coords().to_vec())
+                    .collect::<Vec<Vec<f64>>>(),
+            }))?;
+        }
         let entry = self.registry.register(entry)?;
         entry.backend(self.config.threads.max(1));
         Ok(self.status_of(&entry))
@@ -219,6 +433,7 @@ impl Engine {
             refused: accountant.refused(),
             spent: accountant.composed_spend(),
             remaining_epsilon: accountant.remaining_epsilon(),
+            remaining_delta: accountant.remaining_delta(),
         }
     }
 
@@ -274,7 +489,24 @@ impl Engine {
             let mut accountant = entry.accountant();
             accountant
                 .try_charge(request.query.label(), request.privacy)
-                .map(|_| accountant.remaining_epsilon())
+                .and_then(|_| {
+                    // Write-ahead: the admitted charge is journaled — and
+                    // fsynced — while the accountant lock is held, *before*
+                    // the plan runs or any result can be released. If the
+                    // append fails, the in-memory spend stands (budget is
+                    // never refunded) and the result is withheld: the error
+                    // below aborts admission before execution.
+                    if let Some(store) = &self.store {
+                        store.append(StoreRecord::Charge(ChargeRecord {
+                            seq: 0, // assigned by the store
+                            dataset: entry.name().to_string(),
+                            fingerprint: key.clone(),
+                            label: request.query.label(),
+                            params: request.privacy,
+                        }))?;
+                    }
+                    Ok(accountant.remaining_epsilon())
+                })
         };
         let remaining_epsilon = match charged {
             Ok(remaining) => remaining,
@@ -345,6 +577,20 @@ impl Engine {
                     )))
                 });
         if let Ok(value) = &result {
+            if let Some(store) = &self.store {
+                // The release record enables zero-charge replay after
+                // recovery. Its loss is benign — the charge above is already
+                // durable, so a failed append only costs the free replay —
+                // hence warn-and-continue rather than failing the query.
+                if let Err(e) = store.append(StoreRecord::Release(ReleaseRecord {
+                    seq: 0, // assigned by the store
+                    dataset: entry.name().to_string(),
+                    fingerprint: key.clone(),
+                    value: value.to_json_value(),
+                })) {
+                    eprintln!("privcluster-engine: failed to journal a release record: {e}");
+                }
+            }
             lock_recover(&self.cache).insert(key.clone(), value.clone());
         }
         // The guard wakes coalesced waiters on every exit path: on success

@@ -33,6 +33,11 @@ pub enum EngineError {
     ExecutionFailed(String),
     /// A malformed request reached the JSON-lines front-end.
     Protocol(String),
+    /// The durability layer failed (journal write, recovery replay, or
+    /// corrupt on-disk state). On the charge path this means *budget spent,
+    /// result withheld*: a result whose charge could not be made durable is
+    /// never released, and the in-memory spend stands.
+    Durability(String),
 }
 
 impl EngineError {
@@ -45,6 +50,7 @@ impl EngineError {
             EngineError::InvalidQuery(_) => "invalid_query",
             EngineError::ExecutionFailed(_) => "execution_failed",
             EngineError::Protocol(_) => "protocol",
+            EngineError::Durability(_) => "durability",
         }
     }
 }
@@ -67,7 +73,14 @@ impl fmt::Display for EngineError {
             EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             EngineError::ExecutionFailed(m) => write!(f, "query execution failed: {m}"),
             EngineError::Protocol(m) => write!(f, "protocol error: {m}"),
+            EngineError::Durability(m) => write!(f, "durability error: {m}"),
         }
+    }
+}
+
+impl From<privcluster_store::StoreError> for EngineError {
+    fn from(e: privcluster_store::StoreError) -> Self {
+        EngineError::Durability(e.to_string())
     }
 }
 
@@ -117,6 +130,7 @@ mod tests {
             "invalid_query"
         );
         assert_eq!(EngineError::Protocol("m".into()).kind(), "protocol");
+        assert_eq!(EngineError::Durability("m".into()).kind(), "durability");
         let from_cluster: EngineError = ClusterError::InvalidParameter("p".into()).into();
         assert_eq!(from_cluster.kind(), "execution_failed");
     }

@@ -1,0 +1,176 @@
+//! Canonical fingerprints for queries and registrations.
+//!
+//! A fingerprint is a stable, deterministic identity string. The query
+//! fingerprint is used as **both** the result-cache key and the journal key
+//! of a budget charge — one construction, so the replay cache rebuilt from
+//! the journal and the live cache can never disagree about what "the same
+//! query" means. (Before this module, the cache key was built ad hoc in
+//! `query.rs` and re-derived in `engine.rs`; they now all route through
+//! here.)
+//!
+//! Floating-point components are rendered from their IEEE-754 bit patterns
+//! (`to_bits`, zero-padded hex), so two parameters are identified exactly
+//! when they are bit-identical — no formatting or rounding ambiguity,
+//! which matters because recovery must rebuild bit-identical state.
+
+use crate::query::QueryRequest;
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_geometry::{BackendKind, Dataset, GridDomain};
+
+/// The canonical fingerprint of a query request: datasets are immutable
+/// and queries are seeded, so `(dataset, seed, ε-bits, δ-bits, query)`
+/// fully determines the released result.
+pub fn query_fingerprint(request: &QueryRequest) -> String {
+    let query_json =
+        serde_json::to_string(&request.query).expect("query serialization is infallible");
+    format!(
+        "q|{}|{:x}|{:016x}|{:016x}|{query_json}",
+        request.dataset,
+        request.seed,
+        request.privacy.epsilon().to_bits(),
+        request.privacy.delta().to_bits(),
+    )
+}
+
+/// The canonical fingerprint of a dataset registration: name, declared
+/// domain and budget, composition mode, geometry backend, shape, and an
+/// FNV-1a content hash of the coordinate bit patterns. Recorded in the
+/// registration's journal record; recovery recomputes it from the rebuilt
+/// entry and refuses to serve if they disagree (a checksum-valid but
+/// logically inconsistent journal must fail loudly, not quietly serve a
+/// different dataset under an old budget).
+pub fn registration_fingerprint(
+    name: &str,
+    dataset: &Dataset,
+    domain: &GridDomain,
+    budget: PrivacyParams,
+    mode: CompositionMode,
+    backend: BackendKind,
+) -> String {
+    let mode_tag = match mode {
+        CompositionMode::Basic => "basic".to_string(),
+        CompositionMode::Advanced { delta_prime } => {
+            format!("advanced:{:016x}", delta_prime.to_bits())
+        }
+    };
+    format!(
+        "r|{name}|{}x{}|{}|{:016x}|{:016x}|{:016x}|{:016x}|{mode_tag}|{}|{:016x}",
+        dataset.len(),
+        dataset.dim(),
+        domain.size(),
+        domain.min().to_bits(),
+        domain.max().to_bits(),
+        budget.epsilon().to_bits(),
+        budget.delta().to_bits(),
+        backend.as_str(),
+        dataset_content_hash(dataset),
+    )
+}
+
+/// FNV-1a (64-bit) over the row-major coordinate bit patterns.
+fn dataset_content_hash(dataset: &Dataset) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for point in dataset.iter() {
+        for &c in point.coords() {
+            for byte in c.to_bits().to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+
+    fn dataset(rows: Vec<Vec<f64>>) -> Dataset {
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn query_fingerprints_separate_every_component() {
+        let base = QueryRequest {
+            dataset: "demo".into(),
+            seed: 7,
+            privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
+            query: Query::GoodRadius { t: 10, beta: 0.1 },
+        };
+        let mut variants = vec![base.clone()];
+        let mut v = base.clone();
+        v.seed = 8;
+        variants.push(v);
+        let mut v = base.clone();
+        v.privacy = PrivacyParams::new(0.5, 2e-7).unwrap();
+        variants.push(v);
+        let mut v = base.clone();
+        v.query = Query::GoodRadius { t: 11, beta: 0.1 };
+        variants.push(v);
+        let keys: Vec<String> = variants.iter().map(query_fingerprint).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+        assert_eq!(query_fingerprint(&base), base.cache_key());
+    }
+
+    #[test]
+    fn registration_fingerprints_are_content_sensitive() {
+        let domain = GridDomain::unit_cube(2, 1 << 8).unwrap();
+        let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let a = registration_fingerprint(
+            "d",
+            &dataset(vec![vec![0.25, 0.75], vec![0.5, 0.5]]),
+            &domain,
+            budget,
+            CompositionMode::Basic,
+            BackendKind::Exact,
+        );
+        // Same shape, one coordinate off by one ulp: different fingerprint.
+        let tweaked = f64::from_bits(0.75f64.to_bits() + 1);
+        let b = registration_fingerprint(
+            "d",
+            &dataset(vec![vec![0.25, tweaked], vec![0.5, 0.5]]),
+            &domain,
+            budget,
+            CompositionMode::Basic,
+            BackendKind::Exact,
+        );
+        assert_ne!(a, b);
+        // Different backend or mode: different fingerprint.
+        let c = registration_fingerprint(
+            "d",
+            &dataset(vec![vec![0.25, 0.75], vec![0.5, 0.5]]),
+            &domain,
+            budget,
+            CompositionMode::Basic,
+            BackendKind::Projected,
+        );
+        assert_ne!(a, c);
+        let d = registration_fingerprint(
+            "d",
+            &dataset(vec![vec![0.25, 0.75], vec![0.5, 0.5]]),
+            &domain,
+            budget,
+            CompositionMode::Advanced { delta_prime: 1e-8 },
+            BackendKind::Exact,
+        );
+        assert_ne!(a, d);
+        // Deterministic across calls.
+        let again = registration_fingerprint(
+            "d",
+            &dataset(vec![vec![0.25, 0.75], vec![0.5, 0.5]]),
+            &domain,
+            budget,
+            CompositionMode::Basic,
+            BackendKind::Exact,
+        );
+        assert_eq!(a, again);
+    }
+}

@@ -26,9 +26,16 @@
 //!   free in latency *and* budget (post-processing);
 //! * [`pool`] — an `std::thread` worker pool; parallel batches are
 //!   bit-identical to sequential runs;
-//! * [`engine`] — the [`Engine`] tying admission and execution together;
+//! * [`fingerprint`] — canonical query/registration fingerprints: one
+//!   construction shared by the result cache and the durability journal;
+//! * [`engine`] — the [`Engine`] tying admission and execution together.
+//!   [`Engine::open`] wires in `privcluster-store`'s write-ahead journal:
+//!   registrations and admitted charges are fsynced *before* any noisy
+//!   result is released, and recovery replays snapshot + journal tail into
+//!   bit-identical state (spent budget survives restarts — never refunded);
 //! * [`protocol`] — newline-delimited JSON over stdin/stdout or TCP, served
-//!   by the `serve` binary.
+//!   by the `serve` binary (`--journal`/`--snapshot-dir`/`--snapshot-every`
+//!   select the durable mode).
 //!
 //! # Quick start
 //!
@@ -83,6 +90,7 @@ pub mod accountant;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod planner;
 pub mod pool;
 pub mod protocol;
@@ -92,9 +100,13 @@ mod wire;
 
 pub use accountant::BudgetAccountant;
 pub use cache::ResultCache;
-pub use engine::{DatasetStatus, Engine, EngineConfig, QueryResponse};
+pub use engine::{DatasetStatus, DurabilityStatus, Engine, EngineConfig, QueryResponse};
 pub use error::EngineError;
+pub use fingerprint::{query_fingerprint, registration_fingerprint};
 pub use planner::{plan, Plan};
 pub use protocol::{serve_lines, serve_tcp, Request, MAX_REQUEST_LINE_BYTES};
 pub use query::{BaselineMethod, Query, QueryRequest, QueryValue, WireBall};
 pub use registry::{BackendChoice, DatasetEntry, DatasetRegistry};
+// The durability layer's handle types, so `Engine::open` is usable from
+// the engine crate alone.
+pub use privcluster_store::{Store, StoreConfig};

@@ -27,7 +27,10 @@
 //! The optional register field `"backend"` (`"auto"` | `"exact"` |
 //! `"projected"`, default `"auto"`) overrides the engine's size-based
 //! geometry-backend selection for that dataset; `status` responses report
-//! the active backend.
+//! the active backend, the remaining `(ε, δ)` budget
+//! (`remaining_epsilon` / `remaining_delta`), and a `durability` object —
+//! `{"journaled":…,"journal_seq":…,"recovered":…}` — so operators can
+//! audit spend persistence after a restart.
 //!
 //! Every response carries `"ok"`; errors report a stable `kind` (see
 //! [`EngineError::kind`]) plus a human-readable message. Responses never
@@ -322,21 +325,17 @@ fn materialize(source: &DataSource, domain: &GridDomain) -> Result<Dataset, Engi
     }
 }
 
+/// The `(ε, δ)` wire object — dp's canonical [`Serialize`] impl, the same
+/// encoding the durability journal records (the protocol used to hand-roll
+/// an identical object here).
 fn privacy_json(p: PrivacyParams) -> Value {
-    obj(vec![
-        ("epsilon", num(p.epsilon())),
-        ("delta", num(p.delta())),
-    ])
+    p.to_json_value()
 }
 
+/// The composition wire form (`"basic"` / `{"advanced":{...}}`) — also
+/// dp's canonical impl, shared with the journal.
 fn composition_json(mode: CompositionMode) -> Value {
-    match mode {
-        CompositionMode::Basic => s("basic"),
-        CompositionMode::Advanced { delta_prime } => obj(vec![(
-            "advanced",
-            obj(vec![("delta_prime", num(delta_prime))]),
-        )]),
-    }
+    mode.to_json_value()
 }
 
 fn status_json(status: &DatasetStatus) -> Value {
@@ -354,6 +353,16 @@ fn status_json(status: &DatasetStatus) -> Value {
             status.spent.map(privacy_json).unwrap_or(Value::Null),
         ),
         ("remaining_epsilon", num(status.remaining_epsilon)),
+        ("remaining_delta", num(status.remaining_delta)),
+    ])
+}
+
+fn durability_json(engine: &Engine) -> Value {
+    let durability = engine.durability();
+    obj(vec![
+        ("journaled", Value::Bool(durability.journaled)),
+        ("journal_seq", num(durability.journal_seq as f64)),
+        ("recovered", Value::Bool(durability.recovered)),
     ])
 }
 
@@ -435,6 +444,7 @@ pub fn handle(engine: &Engine, request: &Request) -> Value {
                 ("ok", Value::Bool(true)),
                 ("op", s("status")),
                 ("status", status_json(&status)),
+                ("durability", durability_json(engine)),
             ]),
             Err(e) => error_json(&e),
         },

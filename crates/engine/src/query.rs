@@ -232,19 +232,14 @@ pub struct QueryRequest {
 }
 
 impl QueryRequest {
-    /// The deterministic cache key: datasets are immutable and queries are
-    /// seeded, so `(dataset, query, seed, ε-bits, δ-bits)` fully determines
-    /// the result.
+    /// The deterministic cache key — the request's canonical
+    /// [`query_fingerprint`], which is also the key its budget charge is
+    /// journaled under (one construction for both, so the replay cache
+    /// rebuilt from the journal can never disagree with the live one).
+    ///
+    /// [`query_fingerprint`]: crate::fingerprint::query_fingerprint
     pub fn cache_key(&self) -> String {
-        let query_json =
-            serde_json::to_string(&self.query).expect("query serialization is infallible");
-        format!(
-            "{}|{}|{:x}|{:x}|{query_json}",
-            self.dataset,
-            self.seed,
-            self.privacy.epsilon().to_bits(),
-            self.privacy.delta().to_bits(),
-        )
+        crate::fingerprint::query_fingerprint(self)
     }
 
     /// Parses the wire encoding of a query request.
@@ -296,6 +291,27 @@ impl Serialize for WireBall {
             ("radius", num(self.radius)),
         ])
     }
+}
+
+impl WireBall {
+    fn parse(value: &Value) -> Result<Self, EngineError> {
+        Ok(WireBall {
+            center: parse_f64_array(crate::wire::req(value, "center")?, "center")?,
+            radius: req_f64(value, "radius")?,
+        })
+    }
+}
+
+fn parse_f64_array(value: &Value, field: &str) -> Result<Vec<f64>, EngineError> {
+    value
+        .as_array()
+        .ok_or_else(|| EngineError::Protocol(format!("field `{field}` must be an array")))?
+        .iter()
+        .map(|c| {
+            c.as_f64()
+                .ok_or_else(|| EngineError::Protocol(format!("field `{field}` must hold numbers")))
+        })
+        .collect()
 }
 
 /// The released (DP-safe) payload of a successful query. Every variant is
@@ -395,6 +411,51 @@ impl Serialize for QueryValue {
     }
 }
 
+impl QueryValue {
+    /// Parses the wire encoding — the inverse of the [`Serialize`] impl.
+    /// Recovery uses this to rebuild the zero-charge replay cache from the
+    /// journal's release records, so the round trip is pinned by test to be
+    /// exact (the JSON layer prints floats in shortest round-trip form).
+    pub fn parse(value: &Value) -> Result<Self, EngineError> {
+        match req_str(value, "type")?.as_str() {
+            "radius" => Ok(QueryValue::Radius {
+                radius: req_f64(value, "radius")?,
+            }),
+            "ball" => Ok(QueryValue::Ball {
+                ball: WireBall::parse(value)?,
+                captured: req_usize(value, "captured")?,
+                private: crate::wire::req_bool(value, "private")?,
+            }),
+            "balls" => Ok(QueryValue::Balls {
+                balls: crate::wire::req(value, "balls")?
+                    .as_array()
+                    .ok_or_else(|| EngineError::Protocol("field `balls` must be an array".into()))?
+                    .iter()
+                    .map(WireBall::parse)
+                    .collect::<Result<Vec<_>, _>>()?,
+                covered: req_usize(value, "covered")?,
+                coverage: req_f64(value, "coverage")?,
+                completed: crate::wire::req_bool(value, "completed")?,
+            }),
+            "stable_point" => Ok(QueryValue::StablePoint {
+                point: parse_f64_array(crate::wire::req(value, "point")?, "point")?,
+                radius: req_f64(value, "radius")?,
+                blocks: req_usize(value, "blocks")?,
+                t: req_usize(value, "t")?,
+            }),
+            other => Err(EngineError::Protocol(format!(
+                "unknown result type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for QueryValue {
+    fn from_json_value(value: &Value) -> Result<Self, String> {
+        QueryValue::parse(value).map_err(|e| e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +537,51 @@ mod tests {
             }
         }
         assert_eq!(base.cache_key(), base.clone().cache_key());
+    }
+
+    #[test]
+    fn query_values_round_trip_bit_exactly() {
+        let values = vec![
+            QueryValue::Radius { radius: 0.1 + 0.2 },
+            QueryValue::Ball {
+                ball: WireBall {
+                    center: vec![0.1, f64::from_bits(0.25f64.to_bits() + 1)],
+                    radius: 1e-17,
+                },
+                captured: 41,
+                private: true,
+            },
+            QueryValue::Balls {
+                balls: vec![
+                    WireBall {
+                        center: vec![0.5],
+                        radius: 0.25,
+                    },
+                    WireBall {
+                        center: vec![0.75],
+                        radius: 0.0,
+                    },
+                ],
+                covered: 10,
+                coverage: 1.0 / 3.0,
+                completed: false,
+            },
+            QueryValue::StablePoint {
+                point: vec![0.3, 0.7],
+                radius: 0.01,
+                blocks: 12,
+                t: 5,
+            },
+        ];
+        for value in values {
+            let json = serde_json::to_string(&value).unwrap();
+            let back: QueryValue = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, value, "round trip failed for {json}");
+        }
+        let bad: Value = serde_json::from_str(r#"{"type":"mystery"}"#).unwrap();
+        assert!(QueryValue::parse(&bad).is_err());
+        let missing: Value = serde_json::from_str(r#"{"type":"ball","radius":1.0}"#).unwrap();
+        assert!(QueryValue::parse(&missing).is_err());
     }
 
     #[test]

@@ -90,6 +90,16 @@ pub(crate) fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, EngineErr
     }
 }
 
+/// A required bool field.
+pub(crate) fn req_bool(value: &Value, key: &str) -> Result<bool, EngineError> {
+    match req(value, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(EngineError::Protocol(format!(
+            "field `{key}` must be a bool"
+        ))),
+    }
+}
+
 /// An optional bool field, defaulting to `false`.
 pub(crate) fn opt_bool(value: &Value, key: &str) -> Result<bool, EngineError> {
     match get(value, key) {

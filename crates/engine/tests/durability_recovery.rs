@@ -1,0 +1,358 @@
+//! Recovery semantics, end to end through `Engine::open` (the PR's
+//! acceptance criterion):
+//!
+//! * driving a dataset to `BudgetExhausted`, reopening the store, and
+//!   checking that refusals persist while cached replays still cost zero
+//!   and return bit-identical values;
+//! * a simulated `kill -9` between journal commit and result release
+//!   (a charge record with no release record) keeps its budget spent
+//!   after recovery — never refunded;
+//! * a truncated/corrupt journal tail is detected via checksum and does
+//!   not refund any committed charge;
+//! * recovery through a snapshot equals recovery from the journal alone,
+//!   and reopening twice is idempotent.
+
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_engine::{
+    query_fingerprint, Engine, EngineConfig, EngineError, Query, QueryRequest, Store, StoreConfig,
+};
+use privcluster_geometry::{Dataset, GridDomain};
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "privcluster-durability-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn store_config(dir: &Path) -> StoreConfig {
+    StoreConfig::journal_only(dir.join("journal.pcsj"))
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        threads: 2,
+        cache_capacity: 16,
+        ..EngineConfig::default()
+    }
+}
+
+fn rows() -> Vec<Vec<f64>> {
+    // A small deterministic two-blob layout; content only needs to be
+    // stable, not clustered.
+    (0..60)
+        .map(|i| {
+            let base = if i % 3 == 0 { 0.2 } else { 0.7 };
+            vec![base + 0.001 * (i % 7) as f64, base - 0.001 * (i % 5) as f64]
+        })
+        .collect()
+}
+
+fn register(engine: &Engine, budget_epsilon: f64) {
+    engine
+        .register_dataset(
+            "demo",
+            Dataset::from_rows(rows()).unwrap(),
+            GridDomain::unit_cube(2, 1 << 10).unwrap(),
+            PrivacyParams::new(budget_epsilon, 1e-5).unwrap(),
+            CompositionMode::Basic,
+        )
+        .unwrap();
+}
+
+fn request(seed: u64) -> QueryRequest {
+    QueryRequest {
+        dataset: "demo".into(),
+        seed,
+        privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
+        query: Query::GoodRadius { t: 20, beta: 0.1 },
+    }
+}
+
+#[test]
+fn exhausted_budgets_survive_restarts_and_replays_stay_free() {
+    let dir = scratch_dir("exhaustion");
+
+    // Phase 1: exhaust the budget (fits exactly two ε = 0.5 queries).
+    let (value_one, value_two, status_before) = {
+        let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+        assert!(!engine.durability().recovered, "virgin journal");
+        register(&engine, 1.0);
+        let one = engine.query(&request(1)).unwrap();
+        let two = engine.query(&request(2)).unwrap();
+        assert!(matches!(
+            engine.query(&request(3)).unwrap_err(),
+            EngineError::BudgetExhausted { .. }
+        ));
+        (one.value, two.value, engine.status("demo").unwrap())
+    };
+
+    // Phase 2: reopen on the same journal — as after a crash or restart.
+    let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+    let durability = engine.durability();
+    assert!(durability.journaled);
+    assert!(durability.recovered);
+    assert!(
+        durability.journal_seq >= 5,
+        "register + 2×(charge, release)"
+    );
+
+    // Registry and spend are bit-identical to the pre-restart state.
+    let status = engine.status("demo").unwrap();
+    assert_eq!(status.name, status_before.name);
+    assert_eq!(status.points, status_before.points);
+    assert_eq!(status.dim, status_before.dim);
+    assert_eq!(status.backend, status_before.backend);
+    assert_eq!(status.granted, status_before.granted);
+    assert_eq!(
+        status.spent, status_before.spent,
+        "spend must be bit-identical"
+    );
+    assert_eq!(
+        status.remaining_epsilon.to_bits(),
+        status_before.remaining_epsilon.to_bits()
+    );
+    assert_eq!(
+        status.remaining_delta.to_bits(),
+        status_before.remaining_delta.to_bits()
+    );
+
+    // Refusal behavior persists: a fresh distinct query is still refused.
+    assert!(matches!(
+        engine.query(&request(4)).unwrap_err(),
+        EngineError::BudgetExhausted { .. }
+    ));
+
+    // Cached replays cost zero and are bit-identical to the pre-crash
+    // releases — and to what an uninterrupted in-memory run produces.
+    for (seed, expected) in [(1, &value_one), (2, &value_two)] {
+        let replay = engine.query(&request(seed)).unwrap();
+        assert!(replay.cached, "seed {seed} must replay from the journal");
+        assert!(replay.charged.is_none());
+        assert_eq!(&replay.value, expected, "seed {seed} value drifted");
+    }
+    let fresh = Engine::new(engine_config());
+    register(&fresh, 1.0);
+    assert_eq!(fresh.query(&request(1)).unwrap().value, value_one);
+    assert_eq!(fresh.query(&request(2)).unwrap().value, value_two);
+    // The replays charged nothing: granted count unchanged.
+    assert_eq!(
+        engine.status("demo").unwrap().granted,
+        status_before.granted
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_charge_without_a_release_stays_spent_after_recovery() {
+    let dir = scratch_dir("charged-unreleased");
+
+    // Run one real query so the journal holds a register + charge + release.
+    {
+        let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+        register(&engine, 2.0);
+        engine.query(&request(1)).unwrap();
+    }
+
+    // Simulate `kill -9` between journal commit and result release: the
+    // journal gains a committed charge record with no release record —
+    // exactly what the write-ahead ordering leaves behind when the process
+    // dies after fsync but before the response leaves. The store API is the
+    // same code path the engine's admission uses.
+    let victim = request(2);
+    let fingerprint = query_fingerprint(&victim);
+    {
+        let (store, _) = Store::open(store_config(&dir)).unwrap();
+        store
+            .append(privcluster_store::StoreRecord::Charge(
+                privcluster_store::ChargeRecord {
+                    seq: 0,
+                    dataset: "demo".into(),
+                    fingerprint: fingerprint.clone(),
+                    label: "good_radius(t=20)".into(),
+                    params: victim.privacy,
+                },
+            ))
+            .unwrap();
+    }
+
+    // Recovery: the composed spend includes the unreleased charge — the
+    // ledger is ≥ the pre-crash admitted spend, never refunded.
+    let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+    let status = engine.status("demo").unwrap();
+    assert_eq!(
+        status.granted, 2,
+        "released + unreleased charges both count"
+    );
+    let spent = status.spent.unwrap();
+    assert!(
+        (spent.epsilon() - 1.0).abs() < 1e-12,
+        "0.5 released + 0.5 unreleased, got ε = {}",
+        spent.epsilon()
+    );
+
+    // The victim's result was never released, so re-asking is a *new*
+    // interaction: it misses the cache and is charged again (conservative:
+    // budget is spent on both sides, never refunded on either).
+    let rerun = engine.query(&victim).unwrap();
+    assert!(
+        !rerun.cached,
+        "an unreleased charge must not populate the cache"
+    );
+    assert!(rerun.charged.is_some());
+    assert_eq!(engine.status("demo").unwrap().granted, 3);
+
+    // …and that re-charge is itself durable: a further reopen still sees
+    // composed spend 1.5 (idempotent replay, no seq collisions).
+    drop(engine);
+    let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+    let spent = engine.status("demo").unwrap().spent.unwrap();
+    assert!(
+        (spent.epsilon() - 1.5).abs() < 1e-12,
+        "got ε = {}",
+        spent.epsilon()
+    );
+    assert_eq!(engine.status("demo").unwrap().granted, 3);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_tails_are_detected_and_never_refund_budget() {
+    let dir = scratch_dir("torn-tail");
+    let journal = dir.join("journal.pcsj");
+
+    let status_before = {
+        let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+        // Budget fits exactly the two ε = 0.5 queries below, so any refund
+        // caused by tail damage would show up as a third grant succeeding.
+        register(&engine, 1.0);
+        engine.query(&request(1)).unwrap();
+        engine.query(&request(2)).unwrap();
+        engine.status("demo").unwrap()
+    };
+
+    // Append half a record — a crash mid-append. The checksum layer must
+    // detect it; every committed charge stays.
+    let intact = std::fs::read(&journal).unwrap();
+    let mut torn = intact.clone();
+    torn.extend_from_slice(&42u32.to_le_bytes()); // length prefix, no body
+    torn.extend_from_slice(&[0xAB, 0xCD]);
+    std::fs::write(&journal, &torn).unwrap();
+    {
+        let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+        let status = engine.status("demo").unwrap();
+        assert_eq!(status.granted, status_before.granted);
+        assert_eq!(
+            status.spent, status_before.spent,
+            "torn tail must not refund"
+        );
+        assert!(engine.query(&request(1)).unwrap().cached);
+    }
+
+    // Corrupt a byte *inside* the last committed record: that record is
+    // lost (it was the release — worst case a free replay), but nothing
+    // before it is, and nothing is refunded.
+    let mut corrupt = intact.clone();
+    let last = corrupt.len() - 3;
+    corrupt[last] ^= 0x10;
+    std::fs::write(&journal, &corrupt).unwrap();
+    {
+        let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+        let status = engine.status("demo").unwrap();
+        assert_eq!(
+            status.granted, status_before.granted,
+            "charges precede the damaged release and must all survive"
+        );
+        assert_eq!(status.spent, status_before.spent);
+        // The first query's release is intact; the second lost its replay
+        // but *not* its spend.
+        assert!(engine.query(&request(1)).unwrap().cached);
+        assert!(matches!(
+            engine.query(&request(3)).unwrap_err(),
+            EngineError::BudgetExhausted { .. }
+        ));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_recovery_equals_journal_recovery() {
+    let dir = scratch_dir("snapshots");
+
+    // Phase 1, journal only: build up state and capture it.
+    let status_before = {
+        let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+        register(&engine, 4.0);
+        for seed in 1..=3 {
+            engine.query(&request(seed)).unwrap();
+        }
+        engine.status("demo").unwrap()
+    };
+
+    // Phase 2: recover from the journal, then checkpoint into a snapshot
+    // (which truncates the journal — the snapshot now owns the history).
+    let mut with_snapshots = store_config(&dir);
+    with_snapshots.snapshot_dir = Some(dir.join("snapshots"));
+    let journal_path = dir.join("journal.pcsj");
+    let (journal_status, journal_values) = {
+        let engine = Engine::open(engine_config(), with_snapshots.clone()).unwrap();
+        let values: Vec<_> = (1..=3)
+            .map(|seed| engine.query(&request(seed)).unwrap().value)
+            .collect();
+        engine.snapshot_now().unwrap().expect("snapshot dir is set");
+        (engine.status("demo").unwrap(), values)
+    };
+    assert_eq!(std::fs::read_dir(dir.join("snapshots")).unwrap().count(), 1);
+    let truncated = std::fs::metadata(&journal_path).unwrap().len();
+    assert!(
+        truncated <= 8,
+        "snapshot must checkpoint the journal, {truncated} bytes left"
+    );
+
+    // Phase 3: recover purely from the snapshot (the journal is now just a
+    // header) — state and replays must be identical to the journal replay.
+    let engine = Engine::open(engine_config(), with_snapshots.clone()).unwrap();
+    let status = engine.status("demo").unwrap();
+    assert_eq!(
+        status, journal_status,
+        "snapshot recovery diverged from journal recovery"
+    );
+    assert_eq!(status.granted, status_before.granted);
+    assert_eq!(status.spent, status_before.spent);
+    for (seed, expected) in (1..=3).zip(journal_values.iter()) {
+        let replay = engine.query(&request(seed)).unwrap();
+        assert!(replay.cached, "seed {seed} must replay from the snapshot");
+        assert_eq!(&replay.value, expected);
+    }
+
+    // Reopening is idempotent: recovery appends nothing, and the sequence
+    // counter survives the checkpoint (replay would misbehave on reuse).
+    let seq = engine.durability().journal_seq;
+    drop(engine);
+    let again = Engine::open(engine_config(), with_snapshots).unwrap();
+    assert_eq!(again.durability().journal_seq, seq);
+    assert_eq!(again.status("demo").unwrap(), journal_status);
+    // A post-checkpoint query lands in the truncated journal as the tail.
+    let fresh = again.query(&request(4)).unwrap();
+    assert!(!fresh.cached);
+    assert!(again.durability().journal_seq > seq);
+    drop(again);
+    let final_engine = Engine::open(engine_config(), {
+        let mut c = store_config(&dir);
+        c.snapshot_dir = Some(dir.join("snapshots"));
+        c
+    })
+    .unwrap();
+    assert_eq!(final_engine.status("demo").unwrap().granted, 4);
+    assert_eq!(final_engine.query(&request(4)).unwrap().value, fresh.value);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

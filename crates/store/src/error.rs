@@ -1,0 +1,34 @@
+//! Error type of the durability layer.
+
+use std::fmt;
+
+/// Errors produced by the journal, snapshots, and recovery.
+#[derive(Debug, Clone)]
+pub enum StoreError {
+    /// An I/O operation failed. The engine treats this as "budget spent,
+    /// result withheld" on the charge path — a failed journal write must
+    /// never release a result whose charge is not durable.
+    Io(String),
+    /// On-disk state is malformed beyond the torn-tail cases recovery
+    /// handles (wrong magic, unparseable committed record, snapshot/journal
+    /// disagreement).
+    Corrupt(String),
+}
+
+impl StoreError {
+    /// Wraps an I/O error with the path it happened on.
+    pub fn io(path: &std::path::Path, e: std::io::Error) -> Self {
+        StoreError::Io(format!("{}: {e}", path.display()))
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "store I/O error: {m}"),
+            StoreError::Corrupt(m) => write!(f, "store corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,249 @@
+//! The recovery state machine: deterministic, idempotent replay.
+//!
+//! [`StoreState`] is the compacted form of a journal: registrations
+//! (first-wins by name), every committed charge, and a bounded set of
+//! released results for replay-cache rebuild. It is built by applying
+//! records in sequence order; a record whose `seq` is at or below the
+//! state's high-water mark is skipped, which makes replay **idempotent** —
+//! applying the same journal (or a snapshot plus the journal that produced
+//! it) twice yields the same state.
+//!
+//! The privacy invariant lives here too: every committed [`ChargeRecord`]
+//! is applied unconditionally. Recovery never re-checks the budget and
+//! never drops a charge — a charge with no matching release is
+//! *charged-but-unreleased* (the crash window between journal commit and
+//! result release) and the spend stands.
+
+use crate::record::{ChargeRecord, RegisterRecord, ReleaseRecord, StoreRecord};
+use crate::snapshot::Snapshot;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Compacted journal state; also the live mirror the [`Store`] keeps for
+/// writing snapshots.
+///
+/// [`Store`]: crate::store::Store
+#[derive(Debug, Clone)]
+pub struct StoreState {
+    seq: u64,
+    registers: Vec<Arc<RegisterRecord>>,
+    register_names: HashSet<String>,
+    charges: Vec<ChargeRecord>,
+    releases: Vec<ReleaseRecord>,
+    release_keys: HashSet<String>,
+    max_releases: usize,
+}
+
+impl StoreState {
+    /// An empty state retaining at most `max_releases` released results
+    /// (matching the engine's replay-cache capacity keeps snapshots
+    /// bounded; charges are never bounded — they *are* the ledger).
+    pub fn new(max_releases: usize) -> Self {
+        StoreState {
+            seq: 0,
+            registers: Vec::new(),
+            register_names: HashSet::new(),
+            charges: Vec::new(),
+            releases: Vec::new(),
+            release_keys: HashSet::new(),
+            max_releases,
+        }
+    }
+
+    /// Rebuilds a state from a snapshot, then replaying `tail` (the journal
+    /// records — those at or below the snapshot's sequence are skipped).
+    pub fn recover(snapshot: Option<&Snapshot>, tail: &[StoreRecord], max_releases: usize) -> Self {
+        let mut state = StoreState::new(max_releases);
+        if let Some(snapshot) = snapshot {
+            for record in &snapshot.records {
+                state.apply(record);
+            }
+            // The snapshot covers up to its declared seq even if the last
+            // records before it were skipped duplicates.
+            state.seq = state.seq.max(snapshot.seq);
+        }
+        for record in tail {
+            state.apply(record);
+        }
+        state
+    }
+
+    /// Applies one record; returns `false` when the record had no effect —
+    /// either its sequence number was already covered (nothing changes), or
+    /// it lost a first-wins race (only the sequence cursor advances).
+    /// Registers are first-wins by name; duplicate release fingerprints are
+    /// kept first-wins (identical requests are deterministic, so duplicates
+    /// carry the same value).
+    pub fn apply(&mut self, record: &StoreRecord) -> bool {
+        if record.seq() <= self.seq {
+            return false;
+        }
+        self.seq = record.seq();
+        match record {
+            StoreRecord::Register(r) => {
+                if !self.register_names.insert(r.dataset.clone()) {
+                    return false;
+                }
+                self.registers.push(Arc::new(r.clone()));
+            }
+            StoreRecord::Charge(r) => {
+                self.charges.push(r.clone());
+            }
+            StoreRecord::Release(r) => {
+                if !self.release_keys.insert(r.fingerprint.clone()) {
+                    return false;
+                }
+                self.releases.push(r.clone());
+                if self.releases.len() > self.max_releases {
+                    let evicted = self.releases.remove(0);
+                    self.release_keys.remove(&evicted.fingerprint);
+                }
+            }
+        }
+        true
+    }
+
+    /// Highest applied sequence number (0 for a virgin store).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The registrations, in journal order.
+    pub fn registers(&self) -> &[Arc<RegisterRecord>] {
+        &self.registers
+    }
+
+    /// Every committed charge, in journal order.
+    pub fn charges(&self) -> &[ChargeRecord] {
+        &self.charges
+    }
+
+    /// The retained releases, in journal order (oldest first).
+    pub fn releases(&self) -> &[ReleaseRecord] {
+        &self.releases
+    }
+
+    /// Fingerprints of charges with no retained release — the
+    /// charged-but-unreleased set whose spend stands after a crash between
+    /// journal commit and result release.
+    pub fn unreleased_fingerprints(&self) -> Vec<&str> {
+        self.charges
+            .iter()
+            .filter(|c| !self.release_keys.contains(&c.fingerprint))
+            .map(|c| c.fingerprint.as_str())
+            .collect()
+    }
+
+    /// A snapshot of this state, covering everything applied so far.
+    pub fn to_snapshot(&self) -> Snapshot {
+        let mut records: Vec<StoreRecord> =
+            Vec::with_capacity(self.registers.len() + self.charges.len() + self.releases.len());
+        records.extend(
+            self.registers
+                .iter()
+                .map(|r| StoreRecord::Register((**r).clone())),
+        );
+        records.extend(self.charges.iter().cloned().map(StoreRecord::Charge));
+        records.extend(self.releases.iter().cloned().map(StoreRecord::Release));
+        // Snapshot replay applies records through the same seq-gated
+        // `apply`, so restore journal order.
+        records.sort_by_key(StoreRecord::seq);
+        Snapshot {
+            seq: self.seq,
+            records,
+        }
+    }
+
+    /// Structural equality for tests (`PartialEq` is deliberately not
+    /// derived for the public type: `max_releases` is configuration, not
+    /// state).
+    pub fn same_state(&self, other: &StoreState) -> bool {
+        self.seq == other.seq
+            && self.registers.len() == other.registers.len()
+            && self
+                .registers
+                .iter()
+                .zip(other.registers.iter())
+                .all(|(a, b)| a == b)
+            && self.charges == other.charges
+            && self.releases == other.releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_support::{charge, register, release};
+
+    #[test]
+    fn replay_is_idempotent_and_seq_gated() {
+        let records = vec![
+            register(1, "a"),
+            charge(2, "a", "q1", 0.25),
+            release(3, "a", "q1"),
+            charge(4, "a", "q2", 0.5),
+        ];
+        let once = StoreState::recover(None, &records, 16);
+        // Replaying the same journal on top changes nothing.
+        let mut twice = once.clone();
+        for r in &records {
+            assert!(!twice.apply(r), "already-covered seq must be skipped");
+        }
+        assert!(once.same_state(&twice));
+        assert_eq!(once.seq(), 4);
+        assert_eq!(once.charges().len(), 2);
+        assert_eq!(once.unreleased_fingerprints(), vec!["q2"]);
+    }
+
+    #[test]
+    fn snapshot_plus_tail_equals_full_replay() {
+        let full: Vec<StoreRecord> = vec![
+            register(1, "a"),
+            charge(2, "a", "q1", 0.25),
+            release(3, "a", "q1"),
+            register(4, "b"),
+            charge(5, "b", "q2", 0.5),
+        ];
+        let direct = StoreState::recover(None, &full, 16);
+        let mid = StoreState::recover(None, &full[..3], 16);
+        let snapshot = mid.to_snapshot();
+        // The tail overlaps the snapshot on purpose: seq-gating must skip
+        // the overlap.
+        let resumed = StoreState::recover(Some(&snapshot), &full, 16);
+        assert!(direct.same_state(&resumed));
+    }
+
+    #[test]
+    fn duplicate_registers_are_first_wins() {
+        let mut dup = register(4, "a");
+        if let StoreRecord::Register(r) = &mut dup {
+            r.backend = "projected".to_string();
+        }
+        let state = StoreState::recover(None, &[register(1, "a"), dup], 16);
+        assert_eq!(state.registers().len(), 1);
+        assert_eq!(state.registers()[0].backend, "exact");
+        assert_eq!(state.seq(), 4, "skipped records still advance the cursor");
+    }
+
+    #[test]
+    fn release_retention_is_bounded_but_charges_never_are() {
+        let mut records = vec![register(1, "a")];
+        for i in 0..10u64 {
+            records.push(charge(2 + 2 * i, "a", &format!("q{i}"), 0.01));
+            records.push(release(3 + 2 * i, "a", &format!("q{i}")));
+        }
+        let state = StoreState::recover(None, &records, 4);
+        assert_eq!(state.charges().len(), 10);
+        assert_eq!(state.releases().len(), 4);
+        // The retained releases are the newest four, in order.
+        let kept: Vec<&str> = state
+            .releases()
+            .iter()
+            .map(|r| r.fingerprint.as_str())
+            .collect();
+        assert_eq!(kept, vec!["q6", "q7", "q8", "q9"]);
+        // Evicted releases re-surface as unreleased charges — conservative:
+        // their spend stands, only the free replay is gone.
+        assert_eq!(state.unreleased_fingerprints().len(), 6);
+    }
+}

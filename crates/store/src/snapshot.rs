@@ -1,0 +1,205 @@
+//! Periodic snapshots: a compacted copy of the journal's state, so
+//! recovery replays a bounded tail instead of the whole history.
+//!
+//! A snapshot file is the 8-byte magic `PCSS0001` followed by **one**
+//! framed, checksummed payload holding the covered sequence number and the
+//! compacted record lists. Files are written to a temp name, fsynced, then
+//! atomically renamed to `snap-<seq>.pcss` (and the directory fsynced), so
+//! a crash mid-snapshot can never damage an older snapshot — the loader
+//! simply falls back to the newest file that validates.
+
+use crate::error::StoreError;
+use crate::format::{encode_frame, scan_frames, TailStatus, SNAPSHOT_MAGIC};
+use crate::record::StoreRecord;
+use crate::wire::{num, obj, req, req_u64};
+use serde::Value;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A compacted, replayable copy of journal state up to `seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Highest journal sequence number this snapshot covers; recovery
+    /// replays only journal records with larger `seq`.
+    pub seq: u64,
+    /// The compacted records, in original journal order (registers first is
+    /// *not* assumed — order is preserved as applied).
+    pub records: Vec<StoreRecord>,
+}
+
+impl Snapshot {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("version", num(1.0)),
+            ("seq", num(self.seq as f64)),
+            (
+                "records",
+                Value::Array(self.records.iter().map(|r| r.to_json_value()).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, StoreError> {
+        let version = req_u64(value, "version")?;
+        if version != 1 {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let records = req(value, "records")?
+            .as_array()
+            .ok_or_else(|| StoreError::Corrupt("snapshot `records` must be an array".into()))?
+            .iter()
+            .map(StoreRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Snapshot {
+            seq: req_u64(value, "seq")?,
+            records,
+        })
+    }
+}
+
+fn snapshot_file_name(seq: u64) -> String {
+    format!("snap-{seq:020}.pcss")
+}
+
+/// Writes a snapshot atomically into `dir`, returning the final path.
+pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> Result<PathBuf, StoreError> {
+    std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+    let payload = serde_json::to_string(&snapshot.to_json_value())
+        .expect("snapshot serialization is infallible")
+        .into_bytes();
+    let frame = encode_frame(&payload)?;
+    let tmp = dir.join(format!(".tmp-{}", snapshot_file_name(snapshot.seq)));
+    {
+        let mut file = File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        file.write_all(SNAPSHOT_MAGIC)
+            .map_err(|e| StoreError::io(&tmp, e))?;
+        file.write_all(&frame)
+            .map_err(|e| StoreError::io(&tmp, e))?;
+        file.sync_data().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    let path = dir.join(snapshot_file_name(snapshot.seq));
+    std::fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+    // fsync the directory so the rename itself is durable. This must
+    // propagate: the caller is about to checkpoint (truncate) the journal
+    // on the strength of this snapshot, and a snapshot whose directory
+    // entry may vanish on power loss is not durable.
+    let d = File::open(dir).map_err(|e| StoreError::io(dir, e))?;
+    d.sync_data().map_err(|e| StoreError::io(dir, e))?;
+    Ok(path)
+}
+
+/// Loads the newest snapshot in `dir` (if any). A crash mid-snapshot
+/// leaves only an ignored `.tmp-` file (the rename is atomic), so the
+/// newest visible `snap-*.pcss` is expected to validate; if it does
+/// **not**, this is an error, never a silent fallback — checkpointing
+/// truncated the journal records that snapshot owns, so recovering from an
+/// older snapshot (or none) would silently refund committed budget
+/// charges, the exact violation the store exists to prevent.
+pub fn load_latest(dir: &Path) -> Result<Option<Snapshot>, StoreError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io(dir, e)),
+    };
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with("snap-") && n.ends_with(".pcss"))
+                .unwrap_or(false)
+        })
+        .collect();
+    // Names embed zero-padded sequence numbers, so lexicographic order is
+    // sequence order; only the newest matters.
+    candidates.sort();
+    match candidates.last() {
+        None => Ok(None),
+        Some(path) => load_snapshot(path).map(Some).map_err(|e| {
+            StoreError::Corrupt(format!(
+                "newest snapshot {} does not validate ({e}); refusing to recover from older \
+                 state — the journal was checkpointed against this snapshot, so falling back \
+                 would refund committed budget charges",
+                path.display()
+            ))
+        }),
+    }
+}
+
+fn load_snapshot(path: &Path) -> Result<Snapshot, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .map_err(|e| StoreError::io(path, e))?
+        .read_to_end(&mut bytes)
+        .map_err(|e| StoreError::io(path, e))?;
+    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{} is not a privcluster snapshot (bad magic)",
+            path.display()
+        )));
+    }
+    let (payloads, tail) = scan_frames(&bytes[SNAPSHOT_MAGIC.len()..]);
+    if payloads.len() != 1 || tail != TailStatus::Clean {
+        return Err(StoreError::Corrupt(format!(
+            "{}: expected exactly one clean framed payload",
+            path.display()
+        )));
+    }
+    let text = std::str::from_utf8(payloads[0])
+        .map_err(|e| StoreError::Corrupt(format!("snapshot payload is not UTF-8: {e}")))?;
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| StoreError::Corrupt(format!("snapshot payload is not JSON: {e}")))?;
+    Snapshot::from_json(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_support::{charge, register, release};
+
+    fn snapshot(seq: u64) -> Snapshot {
+        Snapshot {
+            seq,
+            records: vec![
+                register(1, "demo"),
+                charge(2, "demo", "q1", 0.5),
+                release(3, "demo", "q1"),
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_and_corrupt_newest_fails_loudly() {
+        let dir = crate::test_dir::scratch_path("snapshots-roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(load_latest(&dir).unwrap(), None);
+        write_snapshot(&dir, &snapshot(3)).unwrap();
+        write_snapshot(&dir, &snapshot(7)).unwrap();
+        assert_eq!(load_latest(&dir).unwrap().unwrap().seq, 7);
+        // A stray tmp file (crash mid-snapshot) is ignored entirely: the
+        // rename is atomic, so tmp files are never committed state.
+        std::fs::write(dir.join(".tmp-snap-00000000000000000009.pcss"), b"junk").unwrap();
+        assert_eq!(load_latest(&dir).unwrap().unwrap().seq, 7);
+        // Corrupt the newest: the loader must FAIL, not silently fall back
+        // to seq 3 — the journal was checkpointed against seq 7, so older
+        // state would refund the charges only snapshot 7 holds.
+        let newest = dir.join("snap-00000000000000000007.pcss");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+        assert!(matches!(
+            load_latest(&dir),
+            Err(StoreError::Corrupt(ref m)) if m.contains("refusing to recover")
+        ));
+        // Removing the damaged file restores the (older, still-valid) one —
+        // an explicit operator decision, not an automatic fallback.
+        std::fs::remove_file(&newest).unwrap();
+        assert_eq!(load_latest(&dir).unwrap().unwrap(), snapshot(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,250 @@
+//! The engine-facing store handle: one object tying journal, snapshots,
+//! and the live compacted state together.
+
+use crate::error::StoreError;
+use crate::journal::Journal;
+use crate::record::StoreRecord;
+use crate::recovery::StoreState;
+use crate::snapshot::{load_latest, write_snapshot, Snapshot};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Where and how a [`Store`] persists engine state.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Path of the append-only journal (created if absent).
+    pub journal_path: PathBuf,
+    /// Directory for periodic snapshots. `None` disables snapshots and the
+    /// journal alone carries the full history. When set, every successful
+    /// snapshot **checkpoints** the journal — truncating the records the
+    /// snapshot now owns, so recovery reads one framed snapshot plus a
+    /// bounded tail — which makes the snapshot directory part of the
+    /// durable state: never delete it (or drop this setting) while keeping
+    /// the journal.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Write a snapshot after this many appends (0 disables automatic
+    /// snapshots; [`Store::snapshot_now`] still works).
+    pub snapshot_every: usize,
+    /// How many released results the compacted state (and therefore each
+    /// snapshot) retains — the engine passes its replay-cache capacity.
+    pub max_retained_releases: usize,
+    /// Whether commits fsync (`true` everywhere except throughput benches:
+    /// without fsync a record still survives `kill -9` once `append`
+    /// returns, but not power loss).
+    pub sync_on_commit: bool,
+}
+
+impl StoreConfig {
+    /// A config journaling to `path` with snapshots disabled and fsync on.
+    pub fn journal_only(path: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            journal_path: path.into(),
+            snapshot_dir: None,
+            snapshot_every: 0,
+            max_retained_releases: 256,
+            sync_on_commit: true,
+        }
+    }
+}
+
+/// What [`Store::open`] found on disk, for the engine to replay.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The recovered compacted state (empty for a virgin store).
+    pub state: StoreState,
+    /// Whether any committed state was recovered (snapshot or journal
+    /// records) — surfaced as `recovered` in the engine's status output.
+    pub recovered: bool,
+    /// Description of a torn journal tail, if one was found (and
+    /// truncated). Committed records before the tear are all in `state`.
+    pub torn_tail: Option<String>,
+}
+
+/// A durable store: append-only journal + periodic snapshots + the live
+/// compacted state mirror.
+#[derive(Debug)]
+pub struct Store {
+    inner: Mutex<Inner>,
+    config: StoreConfig,
+}
+
+#[derive(Debug)]
+struct Inner {
+    journal: Journal,
+    state: StoreState,
+    appends_since_snapshot: usize,
+}
+
+impl Store {
+    /// Opens the journal (and newest valid snapshot, when a snapshot
+    /// directory is configured), replays everything into a [`StoreState`],
+    /// and returns the store positioned to append after the last committed
+    /// record.
+    pub fn open(config: StoreConfig) -> Result<(Store, RecoveryReport), StoreError> {
+        let snapshot: Option<Snapshot> = match &config.snapshot_dir {
+            Some(dir) => load_latest(dir)?,
+            None => None,
+        };
+        let (journal, scan) = Journal::open(&config.journal_path)?;
+        let state = StoreState::recover(
+            snapshot.as_ref(),
+            &scan.records,
+            config.max_retained_releases,
+        );
+        let recovered = state.seq() > 0;
+        let report = RecoveryReport {
+            state: state.clone(),
+            recovered,
+            torn_tail: scan.torn_tail,
+        };
+        Ok((
+            Store {
+                inner: Mutex::new(Inner {
+                    journal,
+                    state,
+                    appends_since_snapshot: 0,
+                }),
+                config,
+            },
+            report,
+        ))
+    }
+
+    /// Appends one record (the store assigns its sequence number),
+    /// fsyncing when the config demands commit durability. Returns the
+    /// assigned sequence number. Automatic snapshots fire from here.
+    ///
+    /// Release records never pay their own fsync: their loss is benign (a
+    /// free replay, never budget), the unbuffered write already survives
+    /// `kill -9`, and power-loss durability arrives with the next charge's
+    /// fsync — so the hot path stays at one fsync per admitted query, not
+    /// two.
+    pub fn append(&self, record: StoreRecord) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        let seq = inner.state.seq() + 1;
+        let record = record.with_seq(seq);
+        let sync_on_commit =
+            self.config.sync_on_commit && !matches!(record, StoreRecord::Release(_));
+        inner.journal.append(&record, sync_on_commit)?;
+        inner.state.apply(&record);
+        inner.appends_since_snapshot += 1;
+        if self.config.snapshot_every > 0
+            && inner.appends_since_snapshot >= self.config.snapshot_every
+        {
+            if let Err(e) = Self::snapshot_locked(&mut inner, &self.config) {
+                // A failed snapshot does not lose state — the journal has
+                // everything — so it degrades to a visible warning rather
+                // than failing the append that triggered it.
+                eprintln!("privcluster-store: snapshot failed: {e}");
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Writes a snapshot of the current state immediately. Returns the
+    /// snapshot path, or `None` when no snapshot directory is configured.
+    pub fn snapshot_now(&self) -> Result<Option<PathBuf>, StoreError> {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        Self::snapshot_locked(&mut inner, &self.config)
+    }
+
+    fn snapshot_locked(
+        inner: &mut Inner,
+        config: &StoreConfig,
+    ) -> Result<Option<PathBuf>, StoreError> {
+        let Some(dir) = &config.snapshot_dir else {
+            return Ok(None);
+        };
+        let path = write_snapshot(dir, &inner.state.to_snapshot())?;
+        // The snapshot is durable (fsync + atomic rename): checkpoint the
+        // journal so recovery replays a bounded tail instead of the whole
+        // history. A crash in between is safe — replay is sequence-gated.
+        inner.journal.reset()?;
+        inner.appends_since_snapshot = 0;
+        Ok(Some(path))
+    }
+
+    /// Highest committed sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().expect("store lock poisoned").state.seq()
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_support::{charge, register, release};
+
+    fn config(tag: &str, snapshot_every: usize) -> StoreConfig {
+        let root = crate::test_dir::scratch_path(&format!("store-{tag}"));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        StoreConfig {
+            journal_path: root.join("journal.pcsj"),
+            snapshot_dir: Some(root.join("snapshots")),
+            snapshot_every,
+            max_retained_releases: 16,
+            sync_on_commit: true,
+        }
+    }
+
+    #[test]
+    fn append_assigns_sequence_numbers_and_recovers() {
+        let config = config("seq", 0);
+        {
+            let (store, report) = Store::open(config.clone()).unwrap();
+            assert!(!report.recovered);
+            assert_eq!(store.append(register(0, "a")).unwrap(), 1);
+            assert_eq!(store.append(charge(0, "a", "q1", 0.5)).unwrap(), 2);
+            assert_eq!(store.append(release(0, "a", "q1")).unwrap(), 3);
+        }
+        let (store, report) = Store::open(config.clone()).unwrap();
+        assert!(report.recovered);
+        assert!(report.torn_tail.is_none());
+        assert_eq!(report.state.seq(), 3);
+        assert_eq!(report.state.registers().len(), 1);
+        assert_eq!(report.state.charges().len(), 1);
+        assert_eq!(report.state.releases().len(), 1);
+        assert_eq!(store.last_seq(), 3);
+        std::fs::remove_dir_all(config.journal_path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn automatic_snapshots_checkpoint_the_journal() {
+        let config = config("auto-snap", 2);
+        let reference = {
+            let (store, _) = Store::open(config.clone()).unwrap();
+            store.append(register(0, "a")).unwrap();
+            store.append(charge(0, "a", "q1", 0.25)).unwrap(); // snapshot at 2
+            store.append(release(0, "a", "q1")).unwrap();
+            store.append(charge(0, "a", "q2", 0.25)).unwrap(); // snapshot at 4
+            let state = store.inner.lock().unwrap().state.clone();
+            state
+        };
+        let snaps: Vec<_> = std::fs::read_dir(config.snapshot_dir.as_ref().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .collect();
+        assert_eq!(snaps.len(), 2, "snapshot_every=2 over 4 appends");
+        // Each snapshot checkpointed the journal: only the un-snapshotted
+        // tail remains (here: nothing — the last append snapshotted).
+        let journal_len = std::fs::metadata(&config.journal_path).unwrap().len();
+        assert_eq!(
+            journal_len,
+            crate::format::JOURNAL_MAGIC.len() as u64,
+            "journal must be truncated to its header after a covering snapshot"
+        );
+        // Recovery through snapshot + (empty) tail equals the pre-restart
+        // state exactly, and appends keep numbering from where it left off.
+        let (store, report) = Store::open(config.clone()).unwrap();
+        assert!(report.recovered);
+        assert!(report.state.same_state(&reference));
+        assert_eq!(store.append(charge(0, "a", "q3", 0.25)).unwrap(), 5);
+        std::fs::remove_dir_all(config.journal_path.parent().unwrap()).ok();
+    }
+}

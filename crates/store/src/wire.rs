@@ -1,0 +1,65 @@
+//! Value-tree helpers for the record encodings (the store's private
+//! counterpart of the engine's `wire` module — both are small shims over
+//! the vendored serde [`Value`]).
+
+use crate::error::StoreError;
+use serde::Value;
+
+pub(crate) fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+pub(crate) fn num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+pub(crate) fn s(x: impl Into<String>) -> Value {
+    Value::String(x.into())
+}
+
+pub(crate) fn get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+pub(crate) fn req<'a>(value: &'a Value, key: &str) -> Result<&'a Value, StoreError> {
+    get(value, key).ok_or_else(|| StoreError::Corrupt(format!("record misses field `{key}`")))
+}
+
+pub(crate) fn req_str(value: &Value, key: &str) -> Result<String, StoreError> {
+    req(value, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| StoreError::Corrupt(format!("record field `{key}` must be a string")))
+}
+
+pub(crate) fn req_f64(value: &Value, key: &str) -> Result<f64, StoreError> {
+    req(value, key)?
+        .as_f64()
+        .ok_or_else(|| StoreError::Corrupt(format!("record field `{key}` must be a number")))
+}
+
+/// Non-negative integers below 2^53 — same exactness rule as the engine's
+/// wire layer (the JSON layer carries numbers as f64).
+pub(crate) fn req_u64(value: &Value, key: &str) -> Result<u64, StoreError> {
+    let x = req_f64(value, key)?;
+    const FIRST_INEXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x < 0.0 || x.fract() != 0.0 || x >= FIRST_INEXACT {
+        return Err(StoreError::Corrupt(format!(
+            "record field `{key}` must be an integer in [0, 2^53), got {x}"
+        )));
+    }
+    Ok(x as u64)
+}
+
+pub(crate) fn req_usize(value: &Value, key: &str) -> Result<usize, StoreError> {
+    Ok(req_u64(value, key)? as usize)
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the recovery state machine (satellite of the
+//! durability PR): for arbitrary journals,
+//!
+//! (a) replay is idempotent — replaying the same journal twice (and
+//!     resuming from any snapshot of a prefix) yields the same state,
+//! (b) recovering a journal whose tail was truncated or corrupted yields
+//!     exactly the committed-prefix state — earlier charges are never
+//!     refunded, and the composed spend is monotone in the prefix length,
+//! (c) the journal file layer detects a corrupt tail via checksum and
+//!     keeps every committed record.
+
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_store::{
+    ChargeRecord, DomainSpec, Journal, RegisterRecord, ReleaseRecord, StoreRecord, StoreState,
+};
+use proptest::prelude::*;
+use serde::Value;
+use std::path::PathBuf;
+
+fn scratch_path(tag: &str, case: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "privcluster-replay-props-{}-{case}-{tag}.pcsj",
+        std::process::id()
+    ))
+}
+
+/// Deterministically expands a compact spec (a list of small integers) into
+/// a journal: 0 → register a fresh dataset, otherwise → charge (and, when
+/// the integer is even, also release) against a registered dataset.
+fn journal_from_spec(spec: &[u8]) -> Vec<StoreRecord> {
+    let mut records = Vec::new();
+    let mut seq = 0u64;
+    let mut datasets: Vec<String> = Vec::new();
+    for &step in spec {
+        seq += 1;
+        if step == 0 || datasets.is_empty() {
+            let name = format!("d{}", datasets.len());
+            records.push(StoreRecord::Register(RegisterRecord {
+                seq,
+                dataset: name.clone(),
+                domain: DomainSpec {
+                    dim: 2,
+                    size: 1024,
+                    min: 0.0,
+                    max: 1.0,
+                },
+                budget: PrivacyParams::new(4.0, 1e-5).unwrap(),
+                mode: CompositionMode::Basic,
+                backend: "exact".to_string(),
+                fingerprint: format!("reg|{name}"),
+                rows: vec![vec![0.25, 0.5], vec![0.75, 0.5]],
+            }));
+            datasets.push(name);
+            continue;
+        }
+        let dataset = datasets[step as usize % datasets.len()].clone();
+        let fingerprint = format!("q|{dataset}|{seq}");
+        records.push(StoreRecord::Charge(ChargeRecord {
+            seq,
+            dataset: dataset.clone(),
+            fingerprint: fingerprint.clone(),
+            label: format!("q{seq}"),
+            params: PrivacyParams::new(0.001 * step as f64 + 1e-4, 1e-9).unwrap(),
+        }));
+        if step % 2 == 0 {
+            seq += 1;
+            records.push(StoreRecord::Release(ReleaseRecord {
+                seq,
+                dataset,
+                fingerprint,
+                value: Value::Object(vec![
+                    ("type".to_string(), Value::String("radius".to_string())),
+                    ("radius".to_string(), Value::Number(step as f64 / 255.0)),
+                ]),
+            }));
+        }
+    }
+    records
+}
+
+/// Basic-composed ε spend per dataset, the quantity that must never shrink.
+fn spend_by_dataset(state: &StoreState) -> Vec<(String, f64)> {
+    let mut spend: Vec<(String, f64)> = Vec::new();
+    for charge in state.charges() {
+        match spend.iter_mut().find(|(name, _)| *name == charge.dataset) {
+            Some((_, total)) => *total += charge.params.epsilon(),
+            None => spend.push((charge.dataset.clone(), charge.params.epsilon())),
+        }
+    }
+    spend.sort_by(|a, b| a.0.cmp(&b.0));
+    spend
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) Idempotence: replaying the journal twice changes nothing, and
+    /// resuming from a snapshot taken at *any* prefix point, then replaying
+    /// the full journal over it, equals the single full replay.
+    #[test]
+    fn replay_is_idempotent_and_snapshot_resumable(
+        spec in prop::collection::vec(0u8..20, 1..60),
+        cut in prop::collection::vec(0.0f64..1.0, 1),
+    ) {
+        let records = journal_from_spec(&spec);
+        let full = StoreState::recover(None, &records, 32);
+
+        let mut twice = full.clone();
+        for record in &records {
+            prop_assert!(!twice.apply(record), "covered seq must be a no-op");
+        }
+        prop_assert!(full.same_state(&twice));
+
+        let k = ((records.len() as f64) * cut[0]) as usize;
+        let snapshot = StoreState::recover(None, &records[..k], 32).to_snapshot();
+        let resumed = StoreState::recover(Some(&snapshot), &records, 32);
+        prop_assert!(full.same_state(&resumed),
+            "snapshot at {k}/{} + full journal must equal full replay", records.len());
+    }
+
+    /// (b) A lost tail only loses the tail: recovery of any prefix is
+    /// exactly the prefix state, and spend is monotone — committed charges
+    /// are never refunded by later truncation.
+    #[test]
+    fn truncated_tails_never_refund_committed_spend(
+        spec in prop::collection::vec(0u8..20, 1..60),
+        cut in prop::collection::vec(0.0f64..1.0, 1),
+    ) {
+        let records = journal_from_spec(&spec);
+        let k = ((records.len() as f64) * cut[0]) as usize;
+        let prefix = StoreState::recover(None, &records[..k], 1024);
+        let full = StoreState::recover(None, &records, 1024);
+        let prefix_spend = spend_by_dataset(&prefix);
+        let full_spend = spend_by_dataset(&full);
+        for (dataset, spent) in &prefix_spend {
+            let after = full_spend
+                .iter()
+                .find(|(name, _)| name == dataset)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0);
+            prop_assert!(
+                after >= *spent - 1e-12,
+                "dataset {dataset}: spend shrank from {spent} to {after}"
+            );
+        }
+    }
+
+    /// (c) End to end through the file layer: write a journal, then either
+    /// truncate it at an arbitrary byte (a torn tail — reopen keeps exactly
+    /// the complete prefix and reports the tear) or flip a bit at an
+    /// arbitrary offset (reopen keeps the prefix only when the damaged
+    /// record is the *final* one; damage followed by intact acknowledged
+    /// records must refuse to open rather than silently truncate them).
+    #[test]
+    fn file_layer_detects_corrupt_tails_by_checksum(
+        spec in prop::collection::vec(0u8..20, 2..24),
+        damage in prop::collection::vec(0.0f64..1.0, 2),
+    ) {
+        let records = journal_from_spec(&spec);
+        let path = scratch_path("tail", spec.iter().map(|&b| b as u64).sum::<u64>());
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            for record in &records {
+                journal.append(record, false).unwrap();
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // Frame boundaries (absolute file offsets) for the ground truth.
+        let mut boundaries = Vec::with_capacity(records.len() + 1);
+        let mut at = 8usize; // after the magic
+        boundaries.push(at);
+        for record in &records {
+            at += 8 + record.to_payload().len();
+            boundaries.push(at);
+        }
+        // Damage strictly after the magic so the file stays a journal.
+        let offset = 8 + ((bytes.len() - 9) as f64 * damage[0]) as usize;
+
+        if damage[1] < 0.5 && offset < bytes.len() {
+            // Bit-flip flavour.
+            let mut damaged = bytes.clone();
+            damaged[offset] ^= 0x20;
+            std::fs::write(&path, &damaged).unwrap();
+            let hit = boundaries.iter().filter(|&&b| b <= offset).count() - 1;
+            if hit + 1 == records.len() {
+                // Damage in the final record: a legitimate torn tail.
+                let (_, scan) = Journal::open(&path).unwrap();
+                prop_assert_eq!(&scan.records[..], &records[..hit]);
+                prop_assert!(scan.torn_tail.is_some(), "silent record loss");
+            } else {
+                // Intact records follow the damage: must refuse, not truncate.
+                let result = Journal::open(&path);
+                prop_assert!(
+                    matches!(result, Err(privcluster_store::StoreError::Corrupt(_))),
+                    "mid-file corruption at record {hit} of {} must fail loudly, got {result:?}",
+                    records.len()
+                );
+            }
+        } else {
+            // Truncation flavour: everything from `offset` on is lost.
+            std::fs::write(&path, &bytes[..offset]).unwrap();
+            let complete = boundaries.iter().filter(|&&b| b <= offset).count() - 1;
+            let (_, scan) = Journal::open(&path).unwrap();
+            prop_assert_eq!(&scan.records[..], &records[..complete]);
+            if complete < records.len() {
+                prop_assert!(scan.torn_tail.is_some(), "silent record loss");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

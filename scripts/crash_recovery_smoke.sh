@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: run the release `serve` binary in write-ahead
+# mode, `kill -9` it mid-session (while a request is in flight, no
+# shutdown op), restart it on the same journal, and diff the post-recovery
+# status + query transcript against a committed golden file.
+#
+# Phase 1 drives the engine to budget exhaustion (1.5 = 3 × 0.5 ε);
+# every response is awaited so the corresponding charge + release records
+# are committed. A fourth request — a *replay* of the first query, which
+# journals nothing — is then sent and the process is killed with SIGKILL
+# before its response is read, so the kill genuinely lands mid-request
+# without making the durable state nondeterministic.
+#
+# Phase 2 restarts on the same journal and pins, byte for byte:
+#   * status: granted=3, composed spend 1.5, remaining ε=0, recovered=true,
+#     journal_seq=7 (1 register + 3 × (charge + release));
+#   * cached zero-charge replays of the released results (bit-identical to
+#     the pre-crash releases);
+#   * a fresh query refused with budget_exhausted — refusals persist;
+#   * a second status showing the refusal counted.
+set -euo pipefail
+
+BIN=${1:-./target/release/serve}
+DATA=crates/engine/tests/data
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# --- Phase 1: serve, exhaust the budget, kill -9 mid-request -------------
+mkfifo "$WORK/requests"
+"$BIN" --journal "$WORK/journal.pcsj" < "$WORK/requests" > "$WORK/phase1.jsonl" 2>"$WORK/phase1.err" &
+SERVE_PID=$!
+# Keep the fifo's write end open across the individual sends.
+exec 3>"$WORK/requests"
+
+cat "$DATA/recovery_phase1.jsonl" >&3
+EXPECTED=$(wc -l < "$DATA/recovery_phase1.jsonl")
+for _ in $(seq 1 600); do
+    [ "$(wc -l < "$WORK/phase1.jsonl")" -ge "$EXPECTED" ] && break
+    sleep 0.1
+done
+if [ "$(wc -l < "$WORK/phase1.jsonl")" -lt "$EXPECTED" ]; then
+    echo "crash-recovery smoke: phase 1 stalled" >&2
+    cat "$WORK/phase1.err" >&2
+    exit 1
+fi
+
+# In-flight request (a replay: journals nothing, so the post-kill state
+# stays deterministic), then SIGKILL without reading the response.
+head -2 "$DATA/recovery_phase1.jsonl" | tail -1 >&3
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+exec 3>&-
+
+# --- Phase 2: restart on the same journal, diff against the golden ------
+"$BIN" --journal "$WORK/journal.pcsj" < "$DATA/recovery_phase2.jsonl" > "$WORK/phase2.jsonl" 2>"$WORK/phase2.err"
+if ! diff "$DATA/recovery_golden.jsonl" "$WORK/phase2.jsonl"; then
+    echo "crash-recovery smoke: post-recovery transcript diverged from golden" >&2
+    cat "$WORK/phase2.err" >&2
+    exit 1
+fi
+grep -q "recovered: true" "$WORK/phase2.err" || {
+    echo "crash-recovery smoke: serve did not report recovery on stderr" >&2
+    exit 1
+}
+echo "crash-recovery smoke: OK"

@@ -19,7 +19,11 @@
 //! * [`engine`] — the long-lived query engine: registered datasets, a
 //!   budget accountant enforcing composition across adaptive queries, a
 //!   result cache, a worker pool, and a JSON-lines service front-end (the
-//!   `serve` binary).
+//!   `serve` binary);
+//! * [`store`] — the engine's durability layer: an append-only checksummed
+//!   journal of registrations, budget charges, and released results,
+//!   periodic snapshots, and deterministic crash recovery (spent budget
+//!   survives restarts — never refunded).
 //!
 //! # Quick start
 //!
@@ -52,6 +56,7 @@ pub use privcluster_engine as engine;
 pub use privcluster_geometry as geometry;
 pub use privcluster_lowerbound as lowerbound;
 pub use privcluster_report as report;
+pub use privcluster_store as store;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -67,9 +72,12 @@ pub mod prelude {
     };
     pub use privcluster_dp::composition::CompositionMode;
     pub use privcluster_dp::PrivacyParams;
-    pub use privcluster_engine::{BackendChoice, Engine, EngineConfig, Query, QueryRequest};
+    pub use privcluster_engine::{
+        BackendChoice, DurabilityStatus, Engine, EngineConfig, Query, QueryRequest,
+    };
     pub use privcluster_geometry::{
         BackendKind, Ball, Dataset, GeometryBackend, GeometryIndex, GridDomain, Point,
         ProjectedBackend, ProjectedConfig,
     };
+    pub use privcluster_store::{Store, StoreConfig};
 }

@@ -82,6 +82,20 @@ fn prelude_exposes_every_promised_name() {
     let _request_type_is_public = |r: QueryRequest| r;
     let _ = Query::GoodRadius { t: 1, beta: 0.1 };
     let _ = CompositionMode::Basic;
+    // An in-memory engine reports an honest durability posture.
+    let durability: DurabilityStatus = engine.durability();
+    assert!(!durability.journaled);
+    assert!(!durability.recovered);
+    assert_eq!(durability.journal_seq, 0);
+
+    // privcluster_store
+    let _config_type_is_public = |c: StoreConfig| c;
+    let _open_is_reachable: fn(
+        StoreConfig,
+    ) -> Result<
+        (Store, privcluster::store::RecoveryReport),
+        privcluster::store::StoreError,
+    > = Store::open;
 }
 
 /// The facade's module re-exports (used by the integration tests and the
@@ -97,4 +111,6 @@ fn facade_modules_are_reachable() {
     let _ = privcluster::report::Summary::of(&[1.0, 2.0]).unwrap();
     let _ = privcluster::agg::MedianAnalysis;
     let _ = privcluster::engine::EngineError::UnknownDataset("x".into());
+    let _ = privcluster::store::StoreError::Corrupt("x".into());
+    assert_eq!(privcluster::store::crc32(b"123456789"), 0xCBF4_3926);
 }
