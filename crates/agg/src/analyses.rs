@@ -40,7 +40,7 @@ impl BlockAnalysis for MeanAnalysis {
 pub struct MedianAnalysis;
 
 fn median_of(mut values: Vec<f64>) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values.sort_by(f64::total_cmp);
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]
@@ -95,7 +95,7 @@ impl BlockAnalysis for TrimmedMeanAnalysis {
             (0..d)
                 .map(|j| {
                     let mut vals: Vec<f64> = block.iter().map(|p| p[j]).collect();
-                    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    vals.sort_by(f64::total_cmp);
                     let kept = &vals[cut..n - cut.min(n.saturating_sub(cut + 1))];
                     kept.iter().sum::<f64>() / kept.len().max(1) as f64
                 })

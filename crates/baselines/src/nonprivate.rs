@@ -30,6 +30,9 @@ impl OneClusterSolver for NonPrivateTwoApprox {
         _beta: f64,
         _seed: u64,
     ) -> Result<SolverOutput, ClusterError> {
+        // privlint::allow(entropy-source): wall-clock runtime reported in the
+        // Table-1 diagnostics column only; never feeds randomness, results,
+        // or the wire.
         let start = std::time::Instant::now();
         let ball = smallest_ball_two_approx(data, t)?;
         Ok(SolverOutput {
@@ -79,6 +82,9 @@ impl OneClusterSolver for NonPrivateExact {
                 data.len()
             )));
         }
+        // privlint::allow(entropy-source): wall-clock runtime reported in the
+        // Table-1 diagnostics column only; never feeds randomness, results,
+        // or the wire.
         let start = std::time::Instant::now();
         let ball = exhaustive_smallest_ball(data, t)?;
         Ok(SolverOutput {

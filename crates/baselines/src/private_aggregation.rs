@@ -93,7 +93,12 @@ impl OneClusterSolver for PrivateAggregationSolver {
         beta: f64,
         seed: u64,
     ) -> Result<SolverOutput, ClusterError> {
+        // privlint::allow(unsalted-rng): baseline solver entry point — single
+        // root stream per call, no sibling stream shares this seed.
         let mut rng = StdRng::seed_from_u64(seed);
+        // privlint::allow(entropy-source): wall-clock runtime reported in the
+        // Table-1 diagnostics column only; never feeds randomness, results,
+        // or the wire.
         let start = std::time::Instant::now();
         let ball = Self::solve_impl(data, domain, t, privacy, beta, &mut rng)?;
         Ok(SolverOutput {

@@ -66,11 +66,17 @@ impl OneClusterSolver for PrivClusterSolver {
         beta: f64,
         seed: u64,
     ) -> Result<SolverOutput, ClusterError> {
+        // privlint::allow(unsalted-rng): baseline solver entry point — the
+        // caller's seed becomes the solver's single root stream; no sibling
+        // stream is ever derived from the same seed.
         let mut rng = StdRng::seed_from_u64(seed);
         let mut params = OneClusterParams::new(domain.clone(), t, privacy, beta)?;
         if self.paper_constants {
             params = params.with_paper_constants();
         }
+        // privlint::allow(entropy-source): wall-clock runtime reported in the
+        // Table-1 diagnostics column only; never feeds randomness, results,
+        // or the wire.
         let start = std::time::Instant::now();
         let out = one_cluster(data, &params, &mut rng)?;
         Ok(SolverOutput {

@@ -25,13 +25,14 @@ use crate::query::{QueryRequest, QueryValue};
 use crate::registry::{BackendChoice, DatasetEntry, DatasetRegistry};
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
+use privcluster_geometry::sync::lock_recover;
 use privcluster_geometry::{BackendKind, Dataset, GridDomain};
 use privcluster_store::{
     ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, Store, StoreConfig, StoreRecord,
 };
 use serde::Serialize as _;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -59,17 +60,6 @@ impl Default for EngineConfig {
             exact_backend_max_points: 4096,
         }
     }
-}
-
-/// Locks a mutex, recovering the data if a previous holder panicked. The
-/// engine's `cache` and `pending` structures stay internally consistent
-/// across a panicking query (the panic happens in `plan.execute`, never
-/// mid-mutation of these maps), so propagating the poison would only turn
-/// one failed query into a permanently dead service.
-fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Public, non-sensitive description of a registered dataset.

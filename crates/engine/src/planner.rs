@@ -271,6 +271,9 @@ impl Plan {
     pub fn execute(&self, entry: &DatasetEntry, seed: u64) -> Result<QueryValue, EngineError> {
         let data = entry.dataset();
         let domain = entry.domain();
+        // privlint::allow(unsalted-rng): this is the root stream itself — every
+        // sibling stream derives from this seed via a salt (COUNT_STREAM_SALT
+        // below); the root derivation is unsalted by definition.
         let mut rng = StdRng::seed_from_u64(seed);
         match &self.prepared {
             #[cfg(test)]

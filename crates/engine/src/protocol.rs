@@ -286,6 +286,9 @@ fn materialize(source: &DataSource, domain: &GridDomain) -> Result<Dataset, Engi
                     "cluster_radius must be positive and finite".into(),
                 ));
             }
+            // privlint::allow(unsalted-rng): synthetic dataset generation from the
+            // client's wire-supplied seed — public input material, not a DP
+            // mechanism draw; no mechanism stream is derived from this seed.
             let mut rng = StdRng::seed_from_u64(*seed);
             Ok(privcluster_datagen::planted_ball_cluster(
                 domain,
@@ -311,6 +314,9 @@ fn materialize(source: &DataSource, domain: &GridDomain) -> Result<Dataset, Engi
                     "sigma must be positive and finite".into(),
                 ));
             }
+            // privlint::allow(unsalted-rng): synthetic dataset generation from the
+            // client's wire-supplied seed — public input material, not a DP
+            // mechanism draw; no mechanism stream is derived from this seed.
             let mut rng = StdRng::seed_from_u64(*seed);
             Ok(privcluster_datagen::gaussian_mixture(
                 domain,

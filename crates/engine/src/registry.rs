@@ -12,6 +12,7 @@ use crate::accountant::BudgetAccountant;
 use crate::error::EngineError;
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
+use privcluster_geometry::sync::{lock_recover, read_recover, write_recover};
 use privcluster_geometry::{
     BackendKind, Dataset, GeometryBackend, GeometryIndex, GridDomain, ProjectedBackend,
 };
@@ -133,11 +134,11 @@ impl DatasetEntry {
         &self.domain
     }
 
-    /// Locks and returns the entry's budget accountant.
+    /// Locks and returns the entry's budget accountant, recovering the
+    /// ledger if a charging thread panicked (the accountant mutates only
+    /// under [`BudgetAccountant::charge`], which never panics mid-update).
     pub fn accountant(&self) -> std::sync::MutexGuard<'_, BudgetAccountant> {
-        self.accountant
-            .lock()
-            .expect("accountant lock poisoned: a charging thread panicked")
+        lock_recover(&self.accountant)
     }
 }
 
@@ -156,7 +157,7 @@ impl DatasetRegistry {
     /// Registers an entry; refuses to overwrite an existing name (datasets
     /// and their budgets are immutable once registered).
     pub fn register(&self, entry: DatasetEntry) -> Result<Arc<DatasetEntry>, EngineError> {
-        let mut entries = self.entries.write().expect("registry lock poisoned");
+        let mut entries = write_recover(&self.entries);
         if entries.contains_key(entry.name()) {
             return Err(EngineError::DatasetExists(entry.name().to_string()));
         }
@@ -167,9 +168,7 @@ impl DatasetRegistry {
 
     /// Looks up a dataset by name.
     pub fn get(&self, name: &str) -> Result<Arc<DatasetEntry>, EngineError> {
-        self.entries
-            .read()
-            .expect("registry lock poisoned")
+        read_recover(&self.entries)
             .get(name)
             .cloned()
             .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
@@ -177,20 +176,14 @@ impl DatasetRegistry {
 
     /// The registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .entries
-            .read()
-            .expect("registry lock poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = read_recover(&self.entries).keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("registry lock poisoned").len()
+        read_recover(&self.entries).len()
     }
 
     /// Whether no dataset is registered.

@@ -60,6 +60,7 @@ use crate::index::{GeometryIndex, ProfileCache};
 use crate::jl::JlTransform;
 use crate::partition::BoxPartition;
 use crate::point::Point;
+use crate::sync::lock_recover;
 use crate::tol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -295,7 +296,7 @@ impl ProjectedBackend {
             let mut pairs: Vec<(f64, usize)> = (0..b)
                 .map(|other| (rep_a.distance(&projected[reps[other]]), weights[other]))
                 .collect();
-            pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("distances are finite"));
+            pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
             let mut dists: Vec<f64> = Vec::with_capacity(b);
             let mut cum_weights: Vec<usize> = Vec::with_capacity(b);
             let mut total = 0usize;
@@ -357,10 +358,7 @@ impl ProjectedBackend {
 
     /// How many distinct caps have a cached profile (diagnostics/tests).
     pub fn cached_profiles(&self) -> usize {
-        self.profiles
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
+        lock_recover(&self.profiles).len()
     }
 
     /// The weighted analogue of `BallCounter::l_profile`: the `B²`
@@ -381,7 +379,7 @@ impl ProjectedBackend {
                 events.push((d, a as u32, w as u32));
             }
         }
-        events.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite distances"));
+        events.sort_by(|x, y| x.0.total_cmp(&y.0));
 
         let mut counts = vec![0usize; b];
         let mut tree = TopSumTree::new(cap);
@@ -425,16 +423,11 @@ impl GeometryBackend for ProjectedBackend {
         assert!(cap >= 1, "cap t must be at least 1");
         // Same discipline as GeometryIndex: never hold the lock across the
         // sweep; a same-cap race wastes one deterministic rebuild at most.
-        if let Some(profile) = self
-            .profiles
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(cap)
-        {
+        if let Some(profile) = lock_recover(&self.profiles).get(cap) {
             return profile;
         }
         let built = Arc::new(self.build_profile(cap));
-        let mut cache = self.profiles.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cache = lock_recover(&self.profiles);
         if let Some(existing) = cache.get(cap) {
             return existing;
         }

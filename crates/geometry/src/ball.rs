@@ -82,15 +82,24 @@ impl Ball {
         }
     }
 
-    /// Whether this ball entirely contains `other`.
+    /// Whether this ball entirely contains `other`
+    /// ([`tol::ball_contains_ball`] at the unified coarse tolerance).
     pub fn contains_ball(&self, other: &Ball) -> bool {
-        self.center.distance(&other.center) + other.radius
-            <= self.radius * (1.0 + tol::REL) + tol::ABS_COARSE
+        tol::ball_contains_ball(
+            self.center.distance(&other.center),
+            self.radius,
+            other.radius,
+        )
     }
 
-    /// Whether the two balls intersect.
+    /// Whether the two balls intersect ([`tol::balls_intersect`] at the
+    /// unified coarse tolerance).
     pub fn intersects(&self, other: &Ball) -> bool {
-        self.center.distance(&other.center) <= self.radius + other.radius + tol::ABS_COARSE
+        tol::balls_intersect(
+            self.center.distance(&other.center),
+            self.radius,
+            other.radius,
+        )
     }
 }
 

@@ -166,7 +166,7 @@ impl BallCounter {
                 events.push((d, i));
             }
         }
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut counts = vec![0usize; n];
         let mut tree = TopSumTree::new(cap);

@@ -77,7 +77,7 @@ impl DistanceMatrix {
             for (j, slot) in row.iter_mut().enumerate() {
                 *slot = pts[i].distance(&pts[j]);
             }
-            row.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            row.sort_by(f64::total_cmp);
         };
         let threads = threads.max(1).min(n.max(1));
         let mut rows = vec![0.0f64; n * n];
@@ -161,7 +161,7 @@ impl DistanceMatrix {
         // flat storage and each diagonal zero once; callers only need the
         // breakpoint *values*, so duplicates are fine after dedup.
         let mut all: Vec<f64> = self.rows.as_ref().clone();
-        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        all.sort_by(f64::total_cmp);
         all.dedup_by(|a, b| tol::same_distance(*a, *b));
         all
     }

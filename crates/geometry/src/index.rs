@@ -23,6 +23,7 @@
 use crate::ball_count::{BallCounter, LProfile};
 use crate::dataset::Dataset;
 use crate::distance::DistanceMatrix;
+use crate::sync::lock_recover;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
@@ -146,16 +147,11 @@ impl GeometryIndex {
         // first-users of *different* caps should build in parallel. A racing
         // pair on the same cap both build, and the loser's identical result
         // is dropped — wasteful but correct (the build is deterministic).
-        if let Some(profile) = self
-            .profiles
-            .lock()
-            .expect("profile cache lock poisoned")
-            .get(cap)
-        {
+        if let Some(profile) = lock_recover(&self.profiles).get(cap) {
             return profile;
         }
         let built = Arc::new(self.ball_counter(cap).l_profile());
-        let mut cache = self.profiles.lock().expect("profile cache lock poisoned");
+        let mut cache = lock_recover(&self.profiles);
         if let Some(existing) = cache.get(cap) {
             return existing; // a racer finished first
         }
@@ -165,10 +161,7 @@ impl GeometryIndex {
 
     /// How many distinct caps have a cached profile (diagnostics/tests).
     pub fn cached_profiles(&self) -> usize {
-        self.profiles
-            .lock()
-            .expect("profile cache lock poisoned")
-            .len()
+        lock_recover(&self.profiles).len()
     }
 }
 

@@ -23,8 +23,10 @@
 //!   [`backend::ProjectedBackend`] answers the same queries
 //!   sub-quadratically from JL-projected, grid-bucketed samples;
 //! * the single tolerance definition every distance comparison goes through
-//!   ([`tol`]), and the scoped-thread worker pool used for parallel matrix
-//!   fills and by the engine's batch executor ([`pool`]);
+//!   ([`tol`]), the scoped-thread worker pool used for parallel matrix
+//!   fills and by the engine's batch executor ([`pool`]), and the
+//!   poison-recovering lock helpers every crate's shared state goes through
+//!   ([`sync`]);
 //! * the small dense-linear-algebra helpers (Gram–Schmidt, matrix-vector
 //!   products) needed by the above ([`linalg`]).
 //!
@@ -50,6 +52,7 @@ pub mod partition;
 pub mod point;
 pub mod pool;
 pub mod rotation;
+pub mod sync;
 pub mod tol;
 
 pub use backend::{BackendKind, GeometryBackend, ProjectedBackend, ProjectedConfig};

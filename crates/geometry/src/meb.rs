@@ -31,12 +31,7 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // pivot
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })?;
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -184,6 +179,9 @@ pub fn exhaustive_smallest_ball(data: &Dataset, t: usize) -> Result<Ball, Geomet
         if data.count_in_ball(&ball) >= t
             && best
                 .as_ref()
+                // privlint::allow(raw-distance-compare): strict ordering of two candidate
+                // MEB radii ("is this ball smaller"), not a membership predicate; a
+                // tolerance here would make "strictly smaller" ambiguous at ties.
                 .map(|b| ball.radius() < b.radius())
                 .unwrap_or(true)
         {
@@ -242,7 +240,7 @@ pub fn smallest_interval_1d(data: &Dataset, t: usize) -> Result<Ball, GeometryEr
         )));
     }
     let mut xs: Vec<f64> = data.iter().map(|p| p[0]).collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    xs.sort_by(f64::total_cmp);
     let mut best_lo = 0usize;
     let mut best_len = f64::INFINITY;
     for lo in 0..=(n - t) {

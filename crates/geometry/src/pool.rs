@@ -16,6 +16,7 @@
 //!
 //! [`DistanceMatrix::build_parallel`]: crate::distance::DistanceMatrix::build_parallel
 
+use crate::sync::{into_inner_recover, lock_recover};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -37,11 +38,11 @@ where
         for _ in 0..workers {
             scope.spawn(|| loop {
                 // FIFO: take the oldest unstarted job.
-                let job = queue.lock().expect("job queue lock poisoned").pop_front();
+                let job = lock_recover(&queue).pop_front();
                 match job {
                     Some((index, job)) => {
                         let result = job();
-                        *slots[index].lock().expect("result slot lock poisoned") = Some(result);
+                        *lock_recover(&slots[index]) = Some(result);
                     }
                     None => break,
                 }
@@ -51,9 +52,7 @@ where
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock poisoned")
-                .expect("worker pool completed without filling every slot")
+            into_inner_recover(slot).expect("worker pool completed without filling every slot")
         })
         .collect()
 }

@@ -1,0 +1,88 @@
+//! Poison-recovering lock acquisition, shared by the whole workspace.
+//!
+//! A `std` mutex is *poisoned* when a thread panics while holding it. The
+//! guarded structures in this workspace stay internally consistent across a
+//! panicking caller — panics happen inside query execution or profile
+//! builds, never mid-mutation of the protected maps/queues — so propagating
+//! the poison would only turn one failed query into a permanently dead
+//! service. PR 4 established this recovery discipline for the engine's hot
+//! caches; these helpers live at the bottom of the dependency stack so
+//! every crate can use the same primitives, and the `lock-unwrap` privlint
+//! rule enforces that they (and not `.lock().unwrap()`) are used on shared
+//! service state.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Takes a read lock, recovering the data if a previous writer panicked.
+pub fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Takes a write lock, recovering the data if a previous writer panicked.
+pub fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Consumes a mutex, recovering the data if a previous holder panicked.
+pub fn into_inner_recover<T>(mutex: Mutex<T>) -> T {
+    mutex
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn mutex_recovers_after_holder_panic() {
+        let shared = Arc::new(Mutex::new(7u32));
+        let clone = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*lock_recover(&shared), 7);
+        *lock_recover(&shared) = 8;
+        assert_eq!(*lock_recover(&shared), 8);
+    }
+
+    #[test]
+    fn rwlock_recovers_after_writer_panic() {
+        let shared = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let clone = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(read_recover(&shared).len(), 3);
+        write_recover(&shared).push(4);
+        assert_eq!(read_recover(&shared).len(), 4);
+    }
+
+    #[test]
+    fn into_inner_recovers_after_holder_panic() {
+        let shared = Arc::new(Mutex::new(String::from("kept")));
+        let clone = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        let mutex = Arc::into_inner(shared).expect("sole owner");
+        assert_eq!(into_inner_recover(mutex), "kept");
+    }
+}

@@ -98,6 +98,27 @@ pub fn ball_threshold_sq(r2: f64) -> f64 {
     r2 * (1.0 + REL) + ABS_SQ
 }
 
+/// Whether a ball of radius `outer_r` whose center is `d` away from a ball
+/// of radius `inner_r` entirely contains it: `d + inner_r` must not exceed
+/// `outer_r` inflated by [`REL`] plus the coarse slack [`ABS_COARSE`]
+/// (ball–ball operands sum two radii and a distance, so the fine [`ABS`]
+/// would be too tight). Bit-identical to the predicate `Ball::contains_ball`
+/// historically inlined.
+#[inline]
+pub fn ball_contains_ball(d: f64, outer_r: f64, inner_r: f64) -> bool {
+    d + inner_r <= outer_r * (1.0 + REL) + ABS_COARSE
+}
+
+/// Whether two balls of radii `r1` and `r2` with centers `d` apart
+/// intersect (closed balls, so touching counts). Deliberately has **no**
+/// relative term: the historical predicate `Ball::intersects` inlined used
+/// only the coarse absolute slack, and widening it retroactively would flip
+/// recorded golden transcripts near tangency.
+#[inline]
+pub fn balls_intersect(d: f64, r1: f64, r2: f64) -> bool {
+    d <= r1 + r2 + ABS_COARSE
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +141,20 @@ mod tests {
         }
         assert!(same_distance(2.0, 2.0));
         assert!(!same_distance(1.0, 2.0));
+    }
+
+    #[test]
+    fn ball_predicates_keep_their_historical_forms() {
+        // contains: inflates the outer radius relatively + coarse slack.
+        assert!(ball_contains_ball(0.5, 1.0, 0.5));
+        assert!(ball_contains_ball(0.5 + 1e-13, 1.0, 0.5)); // inside slack
+        assert!(!ball_contains_ball(0.5 + 1e-11, 1.0, 0.5)); // beyond slack
+
+        // intersects: purely additive slack, no relative term.
+        assert!(balls_intersect(2.0, 1.0, 1.0)); // tangent counts
+        assert!(balls_intersect(2.0 + 5e-13, 1.0, 1.0)); // inside slack
+        assert!(!balls_intersect(2.0 + 1e-11, 1.0, 1.0)); // beyond slack
+        assert!(!balls_intersect(1e9 + 1.0, 5e8, 5e8 - 1.0)); // no REL at scale
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub fn int_point<R: Rng + ?Sized>(
 
     // Step 1: the middle n entries of the sorted input.
     let mut values: Vec<f64> = instance.data.iter().map(|p| p[0]).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values.sort_by(f64::total_cmp);
     let start = (m - inner_n) / 2;
     let middle = Dataset::from_rows(
         values[start..start + inner_n]

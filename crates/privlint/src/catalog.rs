@@ -1,0 +1,171 @@
+//! The rule catalog: one entry per rule, documenting the invariant it
+//! enforces, the previously-fixed bug that motivates it, and how to satisfy
+//! it. `privlint explain <rule>` prints these verbatim; the README's rule
+//! table is generated from the same text, so the tool and the docs cannot
+//! drift apart.
+
+/// Everything there is to know about one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable kebab-case identifier (used in waivers and reports).
+    pub id: &'static str,
+    /// One-line summary for tables.
+    pub summary: &'static str,
+    /// Where the rule looks.
+    pub scope: &'static str,
+    /// The bug class it encodes, and the PR that fixed it by hand once.
+    pub motivation: &'static str,
+    /// How to bring a flagged site into compliance.
+    pub fix: &'static str,
+}
+
+/// The full catalog, in the order rules run.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "raw-distance-compare",
+        summary: "raw `<`/`<=` against a radius-named value instead of `geometry::tol`",
+        scope: "library code of crates/geometry and crates/core, excluding tol.rs",
+        motivation: "PR 3 found three silently inconsistent distance tolerances \
+(`count_within`'s `r*(1+1e-12)+1e-15`, a 4-ulp breakpoint dedup, and `l_profile`'s \
+group merge), so a pair of distances could survive dedup as two breakpoints and \
+still be merged by the profile sweep — `LProfile::value_at` disagreed with the \
+direct `l_value` near ties. Every distance comparison now routes through \
+`geometry::tol`; a fresh raw comparison against a radius re-opens that split-brain.",
+        fix: "Compare through `tol::within_radius`, `tol::within_radius_sq`, \
+`tol::same_distance`, or one of the ball helpers (`tol::ball_contains_ball`, \
+`tol::balls_intersect`). If the comparison is genuinely not a membership \
+predicate (e.g. ordering two candidate radii), waive it with a reason.",
+    },
+    RuleInfo {
+        id: "lock-unwrap",
+        summary: "`.lock()/.read()/.write()` followed by `.unwrap()`/`.expect()` on a poisoning guard",
+        scope: "library code of crates/engine and crates/geometry, outside the \
+`lock_recover`/`read_recover`/`write_recover` helpers themselves",
+        motivation: "PR 4's poisoned-lock kill: a panic inside one query's plan \
+execution poisoned the engine's `pending`/`cache` mutexes, and every later query \
+died in `.expect(\"lock poisoned\")` — one data-dependent panic turned into a \
+permanently dead service. The engine's shared structures are never left \
+mid-mutation by a payload panic, so recovering the guard is always sound there.",
+        fix: "Route through `privcluster_geometry::sync::lock_recover` (or \
+`read_recover`/`write_recover` for `RwLock`), which recovers the data from a \
+poisoned guard instead of propagating the panic.",
+    },
+    RuleInfo {
+        id: "entropy-source",
+        summary: "ambient nondeterminism: `thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`",
+        scope: "library code of every crate except the bench harness (crates/bench), \
+benches and tests",
+        motivation: "PR 5's crash-recovery contract requires journal replay to be \
+bit-identical: recovered registries, ledgers and replay caches are diffed \
+bit-for-bit against an uninterrupted run. Any wall-clock read or OS-entropy draw \
+on a code path that feeds released values, cache keys or journal records breaks \
+replay in a way no test can pin down deterministically.",
+        fix: "Derive all randomness from the vendored seed-deterministic `StdRng` \
+with an explicit seed, and keep wall-clock reads out of library code. Timing \
+that is genuinely diagnostics-only (e.g. Table-1 runtime columns) may be \
+waived with a reason saying where the value flows.",
+    },
+    RuleInfo {
+        id: "unsalted-rng",
+        summary: "`seed_from_u64` in mechanism code whose seed expression has no salt constant",
+        scope: "library code of crates/engine, crates/core, crates/dp, crates/baselines and crates/agg",
+        motivation: "PR 2's composition fix: the baseline arms drew their released \
+count noise from the *same* stream position as the solver's own draws, so the two \
+releases were correlated and basic composition's independence assumption did not \
+hold. The fix salts the second stream (`seed ^ COUNT_STREAM_SALT`). Any new \
+mechanism that re-seeds from a shared seed without a salt re-creates the \
+correlation.",
+        fix: "XOR the incoming seed with a dedicated `*_SALT` constant per logical \
+stream (`StdRng::seed_from_u64(seed ^ MY_STREAM_SALT)`). The single base stream \
+a query hands to its primary mechanism is legitimate — waive it with a reason \
+naming it as the base stream.",
+    },
+    RuleInfo {
+        id: "float-ord-unwrap",
+        summary: "`partial_cmp(…).unwrap()`/`.expect()` on floating-point keys",
+        scope: "library code of every crate",
+        motivation: "A NaN reaching a `sort_by(|a, b| a.partial_cmp(b).unwrap())` \
+panics the worker mid-query; before PR 4's containment sweep such a panic \
+poisoned the engine's locks and killed the service. `f64::total_cmp` is total, \
+panic-free, and bit-identical to `partial_cmp` on every finite, \
+consistently-signed input this workspace sorts.",
+        fix: "Use `f64::total_cmp` for f64 sort keys. Where NaN is provably \
+unreachable and the partial comparison is load-bearing for some other reason, \
+waive with the proof sketch as the reason.",
+    },
+    RuleInfo {
+        id: "wire-int-cast",
+        summary: "`as u64`/`as i64` cast in the wire layer outside the checked 2^53-bound helpers",
+        scope: "crates/engine/src/protocol.rs and crates/engine/src/query.rs",
+        motivation: "PR 2's hardening sweep: the JSON layer carries numbers as f64, \
+and integers at or above 2^53 collapse onto their neighbours (2^53 + 1 parses \
+equal to 2^53) — a raw `as u64` on a wire number silently runs a different seed \
+and collides cache keys relative to what the client sent. `wire::req_u64` \
+rejects the inexact range before casting.",
+        fix: "Parse wire integers through `wire::req_u64`/`wire::req_usize`, which \
+reject values outside [0, 2^53). Never cast a wire-layer f64 directly.",
+    },
+    RuleInfo {
+        id: "journal-order",
+        summary: "a release-journaling call lexically before the charge append in the same function",
+        scope: "library code of crates/engine",
+        motivation: "PR 5's soundness ordering: a query's budget charge must be \
+appended and fsynced *before* its result is released (journaled or cached). \
+Reversing the order opens a crash window in which a released value exists with \
+no durable charge — on recovery the spend would be silently refunded, which is \
+a privacy violation, not an availability gap.",
+        fix: "Keep charge-record appends (`StoreRecord::Charge`/`ChargeRecord`) \
+lexically and causally before any release-record append \
+(`StoreRecord::Release`/`ReleaseRecord`) within the same function. If a \
+function legitimately handles both in a read-only replay path, waive with a \
+reason explaining why no journal write happens.",
+    },
+    RuleInfo {
+        id: "malformed-waiver",
+        summary: "a `privlint::allow` comment that is unparseable, reasonless, or names an unknown rule",
+        scope: "every scanned file",
+        motivation: "A waiver without a written reason is an unreviewable \
+suppression, and a typo'd rule name would silently suppress nothing forever. \
+Both defeat the point of the audit trail, so they are findings themselves — \
+and cannot be waived.",
+        fix: "Write `// privlint::allow(<rule>): <reason>` with a real rule id \
+and a non-empty reason.",
+    },
+];
+
+/// Looks a rule up by id.
+pub fn find(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The full explain text for one rule, as printed by `privlint explain`.
+pub fn explain(info: &RuleInfo) -> String {
+    format!(
+        "rule: {id}\nsummary: {summary}\nscope: {scope}\n\nwhy this rule exists:\n{motivation}\n\nhow to comply:\n{fix}\n\nto waive a specific site (reason mandatory):\n    [code] // privlint::allow({id}): <reason>\n",
+        id = info.id,
+        summary = info.summary,
+        scope = info.scope,
+        motivation = info.motivation,
+        fix = info.fix,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_unique() {
+        assert!(RULES.len() >= 7, "at least seven enforced rule classes");
+        let mut ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), RULES.len(), "rule ids must be unique");
+        for r in RULES {
+            assert!(!r.motivation.is_empty() && !r.fix.is_empty());
+        }
+        assert!(find("lock-unwrap").is_some());
+        assert!(find("no-such").is_none());
+        assert!(explain(find("journal-order").unwrap()).contains("fsync"));
+    }
+}

@@ -1,0 +1,227 @@
+//! The check driver: walk the workspace, lex each file, run the rules,
+//! match waivers, and assemble a [`Report`].
+
+use crate::catalog;
+use crate::lexer;
+use crate::report::snippet_for;
+use crate::rules::{self};
+use crate::scope::{FileScope, SigTokens};
+use crate::waiver::{self, Waiver};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding after waiver resolution.
+#[derive(Debug, Clone)]
+pub struct ReportedFinding {
+    /// Rule id.
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Site-specific message.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Whether an inline waiver suppressed it.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub waiver_reason: Option<String>,
+}
+
+/// Everything the check produced for one file.
+#[derive(Debug, Clone)]
+pub struct CheckedFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// Findings (waived ones included, flagged).
+    pub findings: Vec<ReportedFinding>,
+    /// Waivers found in the file (used or not).
+    pub waivers: Vec<Waiver>,
+}
+
+/// The whole-workspace check result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Per-file results, sorted by path.
+    pub files: Vec<CheckedFile>,
+}
+
+impl Report {
+    /// Findings not suppressed by a waiver. `--deny` fails on these.
+    pub fn active_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.findings)
+            .filter(|f| !f.waived)
+            .count()
+    }
+
+    /// Findings suppressed by a waiver.
+    pub fn waived_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.findings)
+            .filter(|f| f.waived)
+            .count()
+    }
+
+    /// Waivers that suppressed nothing (informational).
+    pub fn unused_waiver_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.waivers)
+            .filter(|w| !w.used)
+            .count()
+    }
+}
+
+/// Lints one file's source as if it lived at `rel_path` in the workspace.
+/// This is the whole pipeline minus the filesystem — fixture tests call it
+/// directly.
+pub fn lint_source(rel_path: &str, src: &str) -> CheckedFile {
+    let scope = FileScope::classify(rel_path);
+    let all = lexer::lex(src);
+    let sig = SigTokens::new(src, &all);
+    let known: BTreeSet<&str> = catalog::RULES.iter().map(|r| r.id).collect();
+    let (mut waivers, malformed) = waiver::collect(src, &all, &sig, &known);
+
+    let mut findings: Vec<ReportedFinding> = Vec::new();
+    for f in rules::run_rules(&scope, &sig) {
+        // A waiver matches when it names the rule and targets the finding's
+        // line. First match wins and is marked used.
+        let matched = waivers
+            .iter_mut()
+            .find(|w| w.rule == f.rule && w.target_line == Some(f.line));
+        let (waived, waiver_reason) = match matched {
+            Some(w) => {
+                w.used = true;
+                (true, Some(w.reason.clone()))
+            }
+            None => (false, None),
+        };
+        findings.push(ReportedFinding {
+            rule: f.rule.to_string(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+            snippet: snippet_for(src, f.line),
+            waived,
+            waiver_reason,
+        });
+    }
+    // Malformed waivers are findings in their own right and cannot be waived.
+    for m in malformed {
+        findings.push(ReportedFinding {
+            rule: "malformed-waiver".to_string(),
+            line: m.line,
+            col: 1,
+            message: m.message,
+            snippet: snippet_for(src, m.line),
+            waived: false,
+            waiver_reason: None,
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule.clone()));
+    CheckedFile {
+        rel_path: rel_path.to_string(),
+        findings,
+        waivers,
+    }
+}
+
+/// Directories never scanned: build output, vendored shims (external API
+/// surface, not engine code), VCS metadata, and the lint's own deliberately
+/// violating fixtures.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", ".github"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks `root` and lints every Rust source file in scope.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        let checked = lint_source(&rel, &src);
+        // Keep every file in the report (files_scanned counts them), but the
+        // interesting ones are those with findings or waivers.
+        files.push(checked);
+    }
+    crate::report::sort_files(&mut files);
+    Ok(Report { files })
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` section.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_suppresses_matching_rule_and_line_only() {
+        let src = "\
+fn f() {
+    // privlint::allow(lock-unwrap): the guarded map survives panics intact
+    m.lock().unwrap();
+    m.lock().unwrap();
+}
+";
+        let out = lint_source("crates/engine/src/a.rs", src);
+        assert_eq!(out.findings.len(), 2);
+        assert!(out.findings[0].waived);
+        assert_eq!(
+            out.findings[0].waiver_reason.as_deref(),
+            Some("the guarded map survives panics intact")
+        );
+        assert!(!out.findings[1].waived);
+        assert!(out.waivers[0].used);
+    }
+
+    #[test]
+    fn malformed_waiver_is_a_finding() {
+        let src = "// privlint::allow(lock-unwrap)\nfn f() {}\n";
+        let out = lint_source("crates/engine/src/a.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "malformed-waiver");
+    }
+}

@@ -1,0 +1,420 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The build environment has no crates.io access, so `syn` is not an
+//! option; this lexer tokenizes well enough for rule matching: it gets
+//! strings (plain, raw, byte), char literals vs. lifetimes, nested block
+//! comments, raw identifiers, numbers with exponents, and multi-character
+//! operators right, and it **never panics** on arbitrary input (pinned by a
+//! property test). It does not parse — the rule engine works directly on
+//! the token stream.
+//!
+//! Spans are byte offsets into the source. Tokens never overlap, appear in
+//! source order, and the bytes between consecutive tokens are always
+//! whitespace, so `&src[tok.start..tok.end]` reconstructs every token
+//! exactly (also property-tested).
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u64`, `1.5e-3`).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character literal: `'x'`, `'\n'`, `'\u{1F600}'`.
+    Char,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, with nesting.
+    BlockComment,
+    /// Operator or delimiter, longest-match (`<=`, `::`, `->`, `..=`, …).
+    Punct,
+    /// A byte the lexer could not classify (kept so spans stay total).
+    Unknown,
+}
+
+/// One token with its byte span and 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+/// Multi-character operators, longest first so the longest match wins.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(b) = self.src.get(self.i) {
+            if *b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"`-terminated string body with `\` escapes; the opening
+    /// quote must already be consumed. Unterminated strings run to EOF.
+    fn string_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body `…"###` with `hashes` closing hashes; the
+    /// opening `"` must already be consumed. No escapes exist in raw strings.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let closed = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closed {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// After an identifier that might be a string prefix (`r`, `b`, `br`,
+    /// `rb`), consumes the rest of the literal if one follows. Returns the
+    /// token kind that the combined lexeme should have.
+    fn maybe_string_suffix(&mut self, prefix: &[u8]) -> TokKind {
+        let raw = prefix.contains(&b'r');
+        match self.peek(0) {
+            Some(b'"') => {
+                self.bump();
+                if raw {
+                    self.raw_string_body(0);
+                } else {
+                    self.string_body();
+                }
+                TokKind::Str
+            }
+            Some(b'#') if raw => {
+                // Either a raw string `r#"…"#` or a raw identifier `r#name`.
+                let mut hashes = 0;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    self.bump_n(hashes + 1);
+                    self.raw_string_body(hashes);
+                    TokKind::Str
+                } else if prefix == b"r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start)
+                {
+                    self.bump(); // the '#'
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    TokKind::Ident
+                } else {
+                    TokKind::Ident
+                }
+            }
+            _ => TokKind::Ident,
+        }
+    }
+
+    /// Consumes a number starting at a digit. Handles `0x…`/`0b…`/`0o…`,
+    /// `_` separators, a fractional part (only when `.` is followed by a
+    /// digit, so `0..n` and `1.max(2)` stop correctly), exponents with a
+    /// sign, and alphanumeric suffixes.
+    fn number(&mut self) {
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'));
+        let mut prev = 0u8;
+        while let Some(b) = self.peek(0) {
+            let fractional_dot =
+                b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && prev != b'.';
+            let exponent_sign = (b == b'+' || b == b'-')
+                && matches!(prev, b'e' | b'E')
+                && !radix_prefixed
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if b.is_ascii_alphanumeric() || b == b'_' || fractional_dot || exponent_sign {
+                prev = b;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes either a char literal or a lifetime; the `'` must not yet be
+    /// consumed.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: skip the escape, then scan to the
+                // closing quote (covers \u{…} bodies too).
+                self.bump_n(2);
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokKind::Char
+            }
+            Some(b) if is_ident_start(b) => {
+                // `'a'` is a char, `'a` (no closing quote after the ident
+                // run) is a lifetime.
+                let mut k = 0;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'\'') {
+                    self.bump_n(k + 1);
+                    TokKind::Char
+                } else {
+                    self.bump_n(k);
+                    TokKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                // `''` — empty/invalid; consume the quote, call it a char.
+                self.bump();
+                TokKind::Char
+            }
+            Some(_) => {
+                // Single non-identifier char such as `'+'` (or garbage).
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            None => TokKind::Unknown,
+        }
+    }
+}
+
+/// Tokenizes `src`. Total: every non-whitespace byte lands in exactly one
+/// token, and the function never panics, whatever the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        if b.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (start, line, col) = (lx.i, lx.line, lx.col);
+        let kind = match b {
+            b'/' if lx.peek(1) == Some(b'/') => {
+                while lx.peek(0).is_some_and(|c| c != b'\n') {
+                    lx.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(_), _) => lx.bump(),
+                        (None, _) => break,
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.string_body();
+                TokKind::Str
+            }
+            b'\'' => lx.char_or_lifetime(),
+            b if b.is_ascii_digit() => {
+                lx.number();
+                TokKind::Number
+            }
+            b if is_ident_start(b) => {
+                while lx.peek(0).is_some_and(is_ident_continue) {
+                    lx.bump();
+                }
+                let ident = &lx.src[start..lx.i];
+                if matches!(ident, b"r" | b"b" | b"br" | b"rb") {
+                    lx.maybe_string_suffix(ident)
+                } else {
+                    TokKind::Ident
+                }
+            }
+            _ => {
+                let rest = &lx.src[lx.i..];
+                let mat = PUNCTS
+                    .iter()
+                    .find(|p| rest.starts_with(p.as_bytes()))
+                    .copied();
+                match mat {
+                    Some(p) => {
+                        lx.bump_n(p.len());
+                        TokKind::Punct
+                    }
+                    None if b.is_ascii_punctuation() => {
+                        lx.bump();
+                        TokKind::Punct
+                    }
+                    None => {
+                        lx.bump();
+                        TokKind::Unknown
+                    }
+                }
+            }
+        };
+        // Defensive: guarantee forward progress even if a branch above ever
+        // fails to consume (should be unreachable).
+        if lx.i == start {
+            lx.bump();
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: lx.i,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = kinds("fn f(x: f64) -> bool { x <= 1.5e-3 }");
+        assert_eq!(toks[0], (TokKind::Ident, "fn"));
+        assert!(toks.contains(&(TokKind::Punct, "->")));
+        assert!(toks.contains(&(TokKind::Punct, "<=")));
+        assert!(toks.contains(&(TokKind::Number, "1.5e-3")));
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let toks = kinds(r####"let s = "a \" b"; let r = r#"raw "inner" ok"#;"####);
+        assert!(toks.contains(&(TokKind::Str, r#""a \" b""#)));
+        assert!(toks.contains(&(TokKind::Str, r####"r#"raw "inner" ok"#"####)));
+        let toks = kinds(r##"b"bytes" br#"raw bytes"#"##);
+        assert_eq!(toks.len(), 2);
+        assert!(toks.iter().all(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert!(toks.contains(&(TokKind::Char, "'x'")));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'")));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b // tail");
+        assert_eq!(toks[0], (TokKind::Ident, "a"));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[2], (TokKind::Ident, "b"));
+        assert_eq!(toks[3], (TokKind::LineComment, "// tail"));
+    }
+
+    #[test]
+    fn raw_identifiers_and_ranges() {
+        let toks = kinds("let r#match = 0..n; let x = 1..=2;");
+        assert!(toks.contains(&(TokKind::Ident, "r#match")));
+        assert!(toks.contains(&(TokKind::Punct, "..")));
+        assert!(toks.contains(&(TokKind::Punct, "..=")));
+        // `1.max(2)` must not eat the dot into the number.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Number, "1"));
+        assert_eq!(toks[1], (TokKind::Punct, "."));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* never closed", "'", "'\\", "b\""] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+        }
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,34 @@
+//! # privcluster-privlint
+//!
+//! Workspace-native static analysis for the privcluster engine. The
+//! engine's privacy guarantees rest on invariants no compiler checks —
+//! every distance comparison routes through `geometry::tol`, every query-path
+//! mutex recovers from poisoning, all randomness is seed-deterministic and
+//! stream-salted, the wire layer never casts an f64 past 2^53, and a budget
+//! charge is journaled before its result is released. Each of those bug
+//! classes was found and fixed by hand exactly once (PRs 2–5); this crate
+//! turns those one-off hardening sweeps into a permanent CI gate.
+//!
+//! The tool lexes every Rust source in the workspace with a hand-rolled
+//! token-level lexer (no crates.io access, so no `syn`) and runs a rule
+//! engine over the token stream, with per-crate/per-file scoping, inline
+//! waiver comments (`// privlint::allow(<rule>): <reason>` — the reason is
+//! mandatory), a machine-readable JSON report, and a `--deny` mode for CI.
+//!
+//! Run it with:
+//!
+//! ```sh
+//! cargo run -p privcluster-privlint -- check --deny
+//! cargo run -p privcluster-privlint -- explain lock-unwrap
+//! cargo run -p privcluster-privlint -- list-waivers --markdown
+//! ```
+
+pub mod catalog;
+pub mod check;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+pub mod waiver;
+
+pub use check::{check_workspace, find_workspace_root, lint_source, CheckedFile, Report};

@@ -1,0 +1,148 @@
+//! The `privlint` command-line interface.
+//!
+//! ```text
+//! privlint check [--deny] [--json <path|->] [--root <dir>]
+//! privlint explain <rule> | --list
+//! privlint list-waivers [--markdown] [--root <dir>]
+//! ```
+//!
+//! `check` scans the workspace and prints findings; with `--deny` it exits
+//! nonzero when any active (unwaived) finding remains — that is the CI
+//! gate. `explain` prints a rule's catalog entry (motivating bug, fix,
+//! waiver syntax). `list-waivers` prints every inline waiver with its
+//! reason, as text or as the committed `privlint-waivers.md` markdown.
+
+use privcluster_privlint::{catalog, check, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  privlint check [--deny] [--json <path|->] [--root <dir>]\n  privlint explain <rule> | --list\n  privlint list-waivers [--markdown] [--root <dir>]"
+    );
+    ExitCode::from(2)
+}
+
+fn resolve_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(root) = explicit {
+        return Ok(root);
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    check::find_workspace_root(&cwd)
+        .ok_or_else(|| "no workspace root found above the current directory (pass --root)".into())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match command {
+        "check" => {
+            let mut deny = false;
+            let mut json: Option<String> = None;
+            let mut root: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--deny" => deny = true,
+                    "--json" => json = it.next().cloned(),
+                    "--root" => root = it.next().cloned().map(PathBuf::from),
+                    _ => return usage(),
+                }
+            }
+            let root = match resolve_root(root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("privlint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let rep = match check::check_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("privlint: scan failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            print!("{}", report::to_human(&rep));
+            if let Some(path) = json {
+                let doc = serde_json::to_string_pretty(&report::to_json(&rep))
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                if path == "-" {
+                    println!("{doc}");
+                } else if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("privlint: cannot write JSON report to {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if deny && rep.active_count() > 0 {
+                eprintln!(
+                    "privlint: failing (--deny): {} active finding(s); run `privlint explain <rule>` for the invariant behind each",
+                    rep.active_count()
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "explain" => match args.get(1).map(String::as_str) {
+            Some("--list") => {
+                for r in catalog::RULES {
+                    println!("{:<22} {}", r.id, r.summary);
+                }
+                ExitCode::SUCCESS
+            }
+            Some(rule) => match catalog::find(rule) {
+                Some(info) => {
+                    print!("{}", catalog::explain(info));
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("privlint: unknown rule `{rule}`; known rules:");
+                    for r in catalog::RULES {
+                        eprintln!("  {}", r.id);
+                    }
+                    ExitCode::FAILURE
+                }
+            },
+            None => usage(),
+        },
+        "list-waivers" => {
+            let mut markdown = false;
+            let mut root: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--markdown" => markdown = true,
+                    "--root" => root = it.next().cloned().map(PathBuf::from),
+                    _ => return usage(),
+                }
+            }
+            let root = match resolve_root(root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("privlint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let rep = match check::check_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("privlint: scan failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if markdown {
+                print!("{}", report::waivers_markdown(&rep));
+            } else {
+                for file in &rep.files {
+                    for w in &file.waivers {
+                        println!("{}:{}: [{}] {}", file.rel_path, w.line, w.rule, w.reason);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,5 @@
+//@ lint-as: crates/bench/src/run.rs
+pub fn measure() -> Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,8 @@
+//@ lint-as: crates/report/src/order.rs
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ HIT float-ord-unwrap
+}
+
+pub fn sort_keys(v: &mut [(f64, u32)]) {
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite")); //~ HIT float-ord-unwrap
+}

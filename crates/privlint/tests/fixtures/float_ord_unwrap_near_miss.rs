@@ -1,0 +1,8 @@
+//@ lint-as: crates/report/src/order.rs
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn sort_defaulting(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,6 @@
+//@ lint-as: crates/report/src/order.rs
+pub fn max_key(v: &[(f64, u32)]) -> Option<&(f64, u32)> {
+    // privlint::allow(float-ord-unwrap): keys are validated finite at parse
+    // time, so partial_cmp cannot observe a NaN here
+    v.iter().max_by(|a, b| a.0.partial_cmp(&b.0).unwrap()) //~ WAIVED float-ord-unwrap
+}

@@ -1,0 +1,5 @@
+//@ lint-as: crates/engine/src/commit.rs
+pub fn commit(s: &Store, r: Release, c: Charge) {
+    s.append(StoreRecord::Release(r)); //~ HIT journal-order
+    s.append(StoreRecord::Charge(c));
+}

@@ -1,0 +1,13 @@
+//@ lint-as: crates/engine/src/commit.rs
+pub fn commit(s: &Store, r: Release, c: Charge) {
+    s.append(StoreRecord::Charge(c));
+    s.append(StoreRecord::Release(r));
+}
+
+pub fn release_only(s: &Store, r: Release) {
+    s.append(StoreRecord::Release(r));
+}
+
+pub fn charge_only(s: &Store, c: Charge) {
+    s.append(StoreRecord::Charge(c));
+}

@@ -1,0 +1,7 @@
+//@ lint-as: crates/engine/src/replay.rs
+pub fn rollback(s: &Store, r: Release, c: Charge) {
+    // privlint::allow(journal-order): crash-recovery rollback deliberately
+    // replays the orphaned release before re-journaling its charge
+    s.append(StoreRecord::Release(r)); //~ WAIVED journal-order
+    s.append(StoreRecord::Charge(c));
+}

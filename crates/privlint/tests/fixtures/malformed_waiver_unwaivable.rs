@@ -1,0 +1,5 @@
+//@ lint-as: crates/engine/src/cache.rs
+// privlint::allow(malformed-waiver): trying to silence the meta-rule
+// privlint::allow(lock-unwrap)
+//~^ HIT malformed-waiver
+pub fn f() {}

@@ -1,0 +1,118 @@
+//! Lexer totality and span round-trip properties.
+//!
+//! The lexer runs over every source file in the workspace on every CI run,
+//! including whatever half-written state a contributor commits — it must
+//! never panic, and its spans must tile the input exactly (every byte is
+//! inside exactly one token or in an inter-token whitespace gap). Both
+//! properties are checked here on adversarial inputs: arbitrary byte soup
+//! (lossily decoded) and random concatenations of the trickiest Rust
+//! lexical fragments (raw strings, nested comments, lifetimes vs. char
+//! literals, numeric suffixes).
+
+use privcluster_privlint::lexer::lex;
+use proptest::prelude::*;
+
+/// Asserts the token stream tiles `src`: spans are in-bounds, on char
+/// boundaries, strictly ordered, non-overlapping, and the gaps between
+/// them contain only whitespace.
+fn assert_round_trip(src: &str) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    for t in &tokens {
+        assert!(t.start <= t.end, "inverted span {}..{}", t.start, t.end);
+        assert!(t.end <= src.len(), "span past EOF: {}..{}", t.start, t.end);
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span off char boundary: {}..{}",
+            t.start,
+            t.end
+        );
+        assert!(t.start >= cursor, "overlapping tokens at byte {}", t.start);
+        assert!(
+            src[cursor..t.start].chars().all(char::is_whitespace),
+            "non-whitespace bytes {cursor}..{} outside every token",
+            t.start
+        );
+        assert!(t.start < t.end || src.is_empty(), "empty token span");
+        cursor = t.end;
+    }
+    assert!(
+        src[cursor..].chars().all(char::is_whitespace),
+        "trailing non-whitespace bytes outside every token"
+    );
+    // Reconstructing from spans + gaps reproduces the source exactly.
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut prev = 0usize;
+    for t in &tokens {
+        rebuilt.push_str(&src[prev..t.start]);
+        rebuilt.push_str(&src[t.start..t.end]);
+        prev = t.end;
+    }
+    rebuilt.push_str(&src[prev..]);
+    assert_eq!(rebuilt, src, "token spans do not round-trip the source");
+}
+
+/// Lexically spicy fragments: every delimiter/escape family the lexer
+/// special-cases, plus degenerate unterminated forms.
+const FRAGMENTS: &[&str] = &[
+    "r#\"raw \" string\"#",
+    "r\"plain raw\"",
+    "b\"bytes\\\"\"",
+    "br#\"raw bytes\"#",
+    "\"esc \\\" aped\"",
+    "'a'",
+    "'\\''",
+    "'\\u{1F600}'",
+    "'static",
+    "'_",
+    "r#match",
+    "/* nested /* block */ comment */",
+    "/* unterminated",
+    "// line comment\n",
+    "//! doc\n",
+    "1_000.5e-3",
+    "0x_dead_beef",
+    "0b1010",
+    "1.max(2)",
+    "0..n",
+    "..=",
+    "<<=",
+    ">>=",
+    "::<T>",
+    "ident",
+    "§π😀",
+    "\"unterminated",
+    "r###\"heavy\"###",
+    "#",
+    "\\",
+    "\u{0}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (decoded lossily, as `check_workspace` would see
+    /// a file with invalid UTF-8 replaced) never panics the lexer and
+    /// always round-trips.
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255u8, 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_round_trip(&src);
+    }
+
+    /// Random concatenations of hostile lexical fragments, glued with a
+    /// rotating set of separators so fragments also collide mid-token.
+    #[test]
+    fn lexer_is_total_on_fragment_soup(
+        picks in prop::collection::vec(0usize..31usize, 0..48),
+        sep in 0usize..4usize,
+    ) {
+        let seps = ["", " ", "\n", "\t"];
+        let mut src = String::new();
+        for (k, &i) in picks.iter().enumerate() {
+            src.push_str(FRAGMENTS[i % FRAGMENTS.len()]);
+            src.push_str(seps[(sep + k) % seps.len()]);
+        }
+        assert_round_trip(&src);
+    }
+}

@@ -29,7 +29,7 @@ impl Summary {
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         let median = if sorted.len() % 2 == 1 {
             sorted[sorted.len() / 2]
         } else {
