@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--journal PATH [--snapshot-dir DIR] [--snapshot-every N] | --in-memory]
 //!       [--tcp ADDR] [--threads N] [--cache N]
+//!       [--metrics ADDR] [--events PATH]
 //! ```
 //!
 //! By default the service speaks newline-delimited JSON over stdin/stdout —
@@ -18,17 +19,49 @@
 //! recovery replays a bounded tail. Without `--journal` the service is
 //! volatile; pass `--in-memory` to make that explicit and silence the
 //! warning.
+//!
+//! Observability: `--metrics ADDR` serves the engine's metrics snapshot as
+//! Prometheus exposition text on a second listener (plain HTTP GET), and
+//! `--events PATH` appends every structured telemetry event as one JSON
+//! line (events buffered before the file opens — recovery, registration —
+//! are flushed into it first). Both are passive: protocol output on stdout
+//! and the stderr banner lines are bit-identical with or without them.
 
 use privcluster_engine::{protocol, Engine, EngineConfig, StoreConfig};
-use std::io::{BufReader, Write};
+use privcluster_obs::{event, prom, Severity};
+use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--journal PATH [--snapshot-dir DIR] [--snapshot-every N] | --in-memory] \
-         [--tcp ADDR] [--threads N] [--cache N]"
+         [--tcp ADDR] [--threads N] [--cache N] [--metrics ADDR] [--events PATH]"
     );
     std::process::exit(2);
+}
+
+/// Serves `GET /metrics`-style scrapes: reads the request head, answers
+/// with the current snapshot rendered as Prometheus text, closes. One
+/// connection at a time is plenty for a scraper, and a hand-rolled
+/// HTTP/1.0 response keeps the binary dependency-free.
+fn serve_metrics(engine: Arc<Engine>, listener: std::net::TcpListener) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // Drain the request head (anything up to a blank line) so well-
+        // behaved HTTP clients do not see a reset; ignore its contents —
+        // every path scrapes the same snapshot.
+        let mut head = [0u8; 4096];
+        let _ = stream.read(&mut head);
+        let body = prom::render(&engine.metrics_snapshot());
+        let _ = write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.flush();
+    }
 }
 
 fn main() -> ExitCode {
@@ -38,6 +71,8 @@ fn main() -> ExitCode {
     let mut snapshot_dir: Option<String> = None;
     let mut snapshot_every: usize = 1024;
     let mut in_memory = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut events_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +99,8 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--in-memory" => in_memory = true,
+            "--metrics" => metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--events" => events_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -85,10 +122,20 @@ fn main() -> ExitCode {
             match Engine::open(config, store_config) {
                 Ok(engine) => {
                     let durability = engine.durability();
-                    // Stderr only: stdout stays pure protocol.
+                    // Stderr only: stdout stays pure protocol. (The crash-
+                    // recovery smoke greps this exact line; the structured
+                    // `serve.banner` event below is the machine-readable
+                    // copy.)
                     eprintln!(
                         "privcluster-engine: journal {path} (seq {}, recovered: {})",
                         durability.journal_seq, durability.recovered
+                    );
+                    event!(
+                        engine.events(),
+                        Severity::Info,
+                        "serve.banner",
+                        journal_seq = durability.journal_seq,
+                        recovered = durability.recovered,
                     );
                     engine
                 }
@@ -99,16 +146,57 @@ fn main() -> ExitCode {
             }
         }
         None => {
+            let engine = Engine::new(config);
             if !in_memory {
                 eprintln!(
                     "privcluster-engine: running IN-MEMORY — spent privacy budget will NOT \
                      survive a restart; pass --journal PATH for durability or --in-memory \
                      to silence this warning"
                 );
+                event!(
+                    engine.events(),
+                    Severity::Warn,
+                    "serve.volatile_mode",
+                    journaled = false,
+                );
             }
-            Engine::new(config)
+            engine
         }
     };
+
+    if let Some(path) = &events_path {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => engine.events().set_sink(Box::new(file)),
+            Err(e) => {
+                eprintln!("serve: cannot open events file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The metrics endpoint runs on its own thread over a shared Arc; it
+    // only ever *reads* snapshots, so it cannot perturb the protocol loop.
+    let engine = Arc::new(engine);
+    if let Some(addr) = &metrics_addr {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("serve: cannot bind metrics listener on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Ok(bound) = listener.local_addr() {
+            eprintln!("privcluster-engine metrics listening on {bound}");
+        }
+        let engine = Arc::clone(&engine);
+        // Detached: the scrape loop dies with the process.
+        std::thread::spawn(move || serve_metrics(engine, listener));
+    }
+
     let served = match tcp_addr {
         Some(addr) => protocol::serve_tcp(&engine, &addr, |bound| {
             // Written to stderr so stdout stays pure protocol.

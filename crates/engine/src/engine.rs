@@ -23,12 +23,15 @@ use crate::planner::{plan, Plan};
 use crate::pool::run_on_pool;
 use crate::query::{QueryRequest, QueryValue};
 use crate::registry::{BackendChoice, DatasetEntry, DatasetRegistry};
+use crate::telemetry::Telemetry;
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
 use privcluster_geometry::sync::lock_recover;
 use privcluster_geometry::{BackendKind, Dataset, GridDomain};
+use privcluster_obs::{event, EventStream, MetricsSnapshot, Severity, Stopwatch};
 use privcluster_store::{
-    ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, Store, StoreConfig, StoreRecord,
+    ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, Store, StoreConfig, StoreObserver,
+    StoreRecord,
 };
 use serde::Serialize as _;
 use std::collections::HashMap;
@@ -142,6 +145,11 @@ pub struct Engine {
     /// first-wins outcome (queries are untouched: they only take the
     /// per-dataset accountant lock).
     registration_serial: Mutex<()>,
+    /// Always-on telemetry. Hot-path series are pre-resolved atomics, so
+    /// instrumentation can never add a lock to admission — and because it
+    /// is unconditional, there is no "metrics mode" whose behaviour could
+    /// diverge from the un-instrumented one.
+    telemetry: Telemetry,
 }
 
 impl Default for Engine {
@@ -164,6 +172,7 @@ impl Engine {
             store: None,
             recovered: false,
             registration_serial: Mutex::new(()),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -183,14 +192,20 @@ impl Engine {
     pub fn open(config: EngineConfig, mut store_config: StoreConfig) -> Result<Self, EngineError> {
         store_config.max_retained_releases = config.cache_capacity;
         let (store, report) = Store::open(store_config)?;
+        let mut engine = Engine::new(config);
+        engine.recovered = report.recovered;
         if let Some(reason) = &report.torn_tail {
             // A torn tail is a crash signature, not an error: the record was
             // never acknowledged, so its result was never released. Committed
             // records before it are all replayed.
             eprintln!("privcluster-engine: journal had a torn tail (truncated): {reason}");
+            event!(
+                engine.telemetry.events(),
+                Severity::Warn,
+                "engine.journal_torn_tail",
+                reason = reason.as_str(),
+            );
         }
-        let mut engine = Engine::new(config);
-        engine.recovered = report.recovered;
 
         for reg in report.state.registers() {
             let kind = match reg.backend.as_str() {
@@ -242,7 +257,12 @@ impl Engine {
                 .registry
                 .register(entry)
                 .map_err(|e| EngineError::Durability(e.to_string()))?;
+            let build = Stopwatch::start();
             entry.backend(engine.config.threads.max(1));
+            engine
+                .telemetry
+                .backend_build_seconds
+                .observe(build.elapsed_seconds());
         }
 
         for charge in report.state.charges() {
@@ -270,11 +290,33 @@ impl Engine {
                             "privcluster-engine: dropping unparseable journaled release {}: {e}",
                             release.fingerprint
                         );
+                        event!(
+                            engine.telemetry.events(),
+                            Severity::Warn,
+                            "engine.release_dropped",
+                            fingerprint = release.fingerprint.as_str(),
+                            reason = e.to_string(),
+                        );
                     }
                 }
             }
         }
 
+        store.set_observer(StoreObserver {
+            fsync_seconds: Arc::clone(&engine.telemetry.fsync_seconds),
+            events: Arc::clone(engine.telemetry.events()),
+        });
+        event!(
+            engine.telemetry.events(),
+            Severity::Info,
+            "engine.recovery",
+            journal_seq = store.last_seq(),
+            recovered = report.recovered,
+            torn_tail = report.torn_tail.is_some(),
+            datasets = report.state.registers().len(),
+            charges = report.state.charges().len(),
+            releases = report.state.releases().len(),
+        );
         engine.store = Some(store);
         Ok(engine)
     }
@@ -395,7 +437,21 @@ impl Engine {
             }))?;
         }
         let entry = self.registry.register(entry)?;
+        let build = Stopwatch::start();
         entry.backend(self.config.threads.max(1));
+        let build_seconds = build.elapsed_seconds();
+        self.telemetry.backend_build_seconds.observe(build_seconds);
+        self.telemetry.registrations_total.inc();
+        event!(
+            self.telemetry.events(),
+            Severity::Info,
+            "engine.register",
+            dataset = entry.name(),
+            points = entry.dataset().len(),
+            dim = entry.dataset().dim(),
+            backend = kind.as_str(),
+            build_seconds = build_seconds,
+        );
         Ok(self.status_of(&entry))
     }
 
@@ -433,10 +489,103 @@ impl Engine {
         (cache.hits(), cache.misses())
     }
 
+    /// The engine's telemetry plane (metrics registry + event stream).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The engine's structured event stream.
+    pub fn events(&self) -> &Arc<EventStream> {
+        self.telemetry.events()
+    }
+
+    /// A consistent point-in-time metrics snapshot, with the derived
+    /// gauges refreshed first. Serves both the `metrics` wire op and the
+    /// `--metrics` Prometheus endpoint.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.refresh_gauges();
+        self.telemetry.registry().snapshot()
+    }
+
+    /// Recomputes the derived gauges — per-dataset budget headroom, spend
+    /// counts, cache hits/misses, refusals, and the worker-pool occupancy.
+    ///
+    /// Gauges are **pulled** here (at snapshot/scrape time) rather than
+    /// pushed from admission: a labeled-gauge write would take the metrics
+    /// registry's lock on the admission path, and the headroom values live
+    /// behind the accountant lock anyway. Scrapes pay the lookups; queries
+    /// pay nothing.
+    pub fn refresh_gauges(&self) {
+        let registry = self.telemetry.registry();
+        for name in self.registry.names() {
+            let Ok(entry) = self.registry.get(&name) else {
+                continue;
+            };
+            let labels: &[(&str, &str)] = &[("dataset", name.as_str())];
+            let (granted, refused, remaining_epsilon, remaining_delta) = {
+                let accountant = entry.accountant();
+                (
+                    accountant.granted(),
+                    accountant.refused(),
+                    accountant.remaining_epsilon(),
+                    accountant.remaining_delta(),
+                )
+            };
+            registry
+                .gauge_with("budget_epsilon_remaining", labels)
+                .set(remaining_epsilon);
+            registry
+                .gauge_with("budget_delta_remaining", labels)
+                .set(remaining_delta);
+            registry
+                .gauge_with("budget_spend_count", labels)
+                .set(granted as f64);
+            registry
+                .gauge_with("budget_refusals", labels)
+                .set(refused as f64);
+            registry
+                .gauge_with("dataset_cache_hits", labels)
+                .set(entry.cache_hit_count() as f64);
+            registry
+                .gauge_with("dataset_cache_misses", labels)
+                .set(entry.cache_miss_count() as f64);
+        }
+        registry
+            .gauge("pool_queue_depth")
+            .set(crate::pool::queue_depth() as f64);
+        registry
+            .gauge("pool_jobs_submitted_total")
+            .set(crate::pool::jobs_submitted() as f64);
+    }
+
+    /// Admission with telemetry wrapped around [`Engine::admit_inner`]:
+    /// times the whole admission (cache lookup + plan + charge + journal
+    /// fsync) and classifies the outcome into the hit / granted / refused /
+    /// error counters. Pure atomics — admission gains no lock and no
+    /// behavioural branch from being observed.
+    fn admit(&self, request: &QueryRequest) -> Result<Admitted, EngineError> {
+        let clock = Stopwatch::start();
+        self.telemetry.queries_total.inc();
+        let outcome = self.admit_inner(request);
+        self.telemetry
+            .admission_seconds
+            .observe(clock.elapsed_seconds());
+        match &outcome {
+            Ok(Admitted::Done(_)) => self.telemetry.cache_hits_total.inc(),
+            Ok(Admitted::Run { .. }) => {
+                self.telemetry.cache_misses_total.inc();
+                self.telemetry.queries_granted_total.inc();
+            }
+            Err(EngineError::BudgetExhausted { .. }) => self.telemetry.refusals_total.inc(),
+            Err(_) => self.telemetry.query_errors_total.inc(),
+        }
+        outcome
+    }
+
     /// Admission only: cache lookup (coalescing with identical in-flight
     /// queries), then plan + charge. Returns either a finished response
     /// (cache hit) or the admitted plan to execute.
-    fn admit(&self, request: &QueryRequest) -> Result<Admitted, EngineError> {
+    fn admit_inner(&self, request: &QueryRequest) -> Result<Admitted, EngineError> {
         let entry = self.registry.get(&request.dataset)?;
         let key = request.cache_key();
         {
@@ -446,6 +595,7 @@ impl Engine {
                 // only order in which both locks are ever held at once.
                 if let Some(value) = lock_recover(&self.cache).get(&key) {
                     let remaining = entry.accountant().remaining_epsilon();
+                    entry.record_cache_hit();
                     return Ok(Admitted::Done(QueryResponse {
                         value,
                         cached: true,
@@ -505,6 +655,7 @@ impl Engine {
                 return Err(e);
             }
         };
+        entry.record_cache_miss();
         Ok(Admitted::Run {
             entry,
             plan,
@@ -554,6 +705,7 @@ impl Engine {
         // contain it to this query instead of unwinding through `serve`.
         // The spend stands (the engine never refunds post-admission
         // failures), and coalesced waiters re-admit on their own.
+        let execute_clock = Stopwatch::start();
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.execute(entry, seed)))
                 .unwrap_or_else(|panic| {
@@ -566,6 +718,9 @@ impl Engine {
                         "query execution panicked: {message}"
                     )))
                 });
+        self.telemetry
+            .execute_seconds
+            .observe(execute_clock.elapsed_seconds());
         if let Ok(value) = &result {
             if let Some(store) = &self.store {
                 // The release record enables zero-charge replay after

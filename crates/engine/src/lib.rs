@@ -96,6 +96,7 @@ pub mod pool;
 pub mod protocol;
 pub mod query;
 pub mod registry;
+pub mod telemetry;
 mod wire;
 
 pub use accountant::BudgetAccountant;
@@ -107,6 +108,7 @@ pub use planner::{plan, Plan};
 pub use protocol::{serve_lines, serve_tcp, Request, MAX_REQUEST_LINE_BYTES};
 pub use query::{BaselineMethod, Query, QueryRequest, QueryValue, WireBall};
 pub use registry::{BackendChoice, DatasetEntry, DatasetRegistry};
+pub use telemetry::Telemetry;
 // The durability layer's handle types, so `Engine::open` is usable from
 // the engine crate alone.
 pub use privcluster_store::{Store, StoreConfig};

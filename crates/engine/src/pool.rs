@@ -11,4 +11,4 @@
 //!
 //! [`DistanceMatrix::build_parallel`]: privcluster_geometry::DistanceMatrix::build_parallel
 
-pub use privcluster_geometry::pool::run_on_pool;
+pub use privcluster_geometry::pool::{jobs_submitted, queue_depth, run_on_pool};

@@ -21,8 +21,17 @@
 //! {"op":"batch","requests":[ ...query request objects... ]}
 //! {"op":"status","dataset":"demo"}
 //! {"op":"list"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `metrics` (also accepted as `{"cmd":"metrics"}`, the scrape-tool
+//! spelling) returns the engine's telemetry snapshot — counters, gauges,
+//! and latency histograms, canonical JSON with sorted series keys. Per the
+//! obs no-payload-data contract the snapshot carries timings, counts, and
+//! `(ε, δ)` aggregates only, and reading it never perturbs the engine:
+//! transcripts of the other ops are bit-identical whether or not metrics
+//! are scraped in between.
 //!
 //! The optional register field `"backend"` (`"auto"` | `"exact"` |
 //! `"projected"`, default `"auto"`) overrides the engine's size-based
@@ -72,6 +81,8 @@ pub enum Request {
     },
     /// List registered dataset names.
     List,
+    /// Report the engine's metrics snapshot (counters, gauges, histograms).
+    Metrics,
     /// Stop serving this connection.
     Shutdown,
 }
@@ -137,7 +148,10 @@ impl Request {
     pub fn parse(line: &str) -> Result<Self, EngineError> {
         let value: Value = serde_json::from_str(line)
             .map_err(|e| EngineError::Protocol(format!("malformed JSON: {e}")))?;
-        let op = req_str(&value, "op")?;
+        // `op` selects the operation; the telemetry-flavoured `cmd` alias
+        // (`{"cmd":"metrics"}`) is accepted too, matching the scrape-tool
+        // convention without disturbing the existing surface.
+        let op = req_str(&value, "op").or_else(|e| req_str(&value, "cmd").map_err(|_| e))?;
         match op.as_str() {
             "register" => Ok(Request::Register(parse_register(&value)?)),
             "query" => Ok(Request::Query(QueryRequest::parse(&value)?)),
@@ -156,6 +170,7 @@ impl Request {
                 dataset: req_str(&value, "dataset")?,
             }),
             "list" => Ok(Request::List),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(EngineError::Protocol(format!("unknown op `{other}`"))),
         }
@@ -467,6 +482,11 @@ pub fn handle(engine: &Engine, request: &Request) -> Value {
                         .collect(),
                 ),
             ),
+        ]),
+        Request::Metrics => obj(vec![
+            ("ok", Value::Bool(true)),
+            ("op", s("metrics")),
+            ("metrics", engine.metrics_snapshot().to_json_value()),
         ]),
         Request::Shutdown => obj(vec![("ok", Value::Bool(true)), ("op", s("shutdown"))]),
     }

@@ -17,6 +17,7 @@ use privcluster_geometry::{
     BackendKind, Dataset, GeometryBackend, GeometryIndex, GridDomain, ProjectedBackend,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// How a registration picks the dataset's geometry backend.
@@ -63,6 +64,14 @@ pub struct DatasetEntry {
     /// registration by the engine, or on first use) and reused by every
     /// later query. Datasets are immutable, so it can never go stale.
     backend: OnceLock<Arc<dyn GeometryBackend>>,
+    /// Telemetry: admissions of this dataset served from the released-result
+    /// cache. A plain atomic (not a metrics series) so the admission path
+    /// stays lock-free; the engine exports it as a labeled gauge at
+    /// snapshot time.
+    cache_hits: AtomicU64,
+    /// Telemetry: admissions of this dataset that missed the cache and
+    /// were charged.
+    cache_misses: AtomicU64,
 }
 
 impl DatasetEntry {
@@ -94,7 +103,29 @@ impl DatasetEntry {
             accountant: Mutex::new(accountant),
             backend_kind,
             backend: OnceLock::new(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         })
+    }
+
+    /// Telemetry: counts one cache-served admission of this dataset.
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Telemetry: counts one charged (cache-missing) admission.
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache-served admissions of this dataset so far.
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Charged (cache-missing) admissions of this dataset so far.
+    pub fn cache_miss_count(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
     }
 
     /// The entry's shared [`GeometryBackend`], building it on first call —

@@ -1,0 +1,211 @@
+//! The telemetry plane's externally observable contract:
+//!
+//! * the `{"cmd":"metrics"}` wire op round-trips through the vendored JSON
+//!   parser and reports the workload it watched (non-zero admission
+//!   latency, budget gauges agreeing with `status`);
+//! * counter totals and histogram counts are invariant under the worker
+//!   pool's thread count — observability never depends on scheduling;
+//! * metrics requests are **passive**: interleaving them into the smoke
+//!   script leaves every non-metrics response line bit-identical to the
+//!   committed golden transcript.
+
+use privcluster_dp::composition::CompositionMode;
+use privcluster_dp::PrivacyParams;
+use privcluster_engine::{protocol, Engine, EngineConfig, Query, QueryRequest};
+use privcluster_geometry::{Dataset, GridDomain};
+use privcluster_obs::MetricsSnapshot;
+use serde::Value;
+
+const REQUESTS: &str = include_str!("data/smoke_requests.jsonl");
+const GOLDEN: &str = include_str!("data/smoke_golden.jsonl");
+
+fn get<'v>(v: &'v Value, key: &str) -> &'v Value {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key `{key}`")),
+        other => panic!("expected object at `{key}`, got {other:?}"),
+    }
+}
+
+fn as_num(v: &Value) -> f64 {
+    match v {
+        Value::Number(n) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+/// A small deterministic engine with one registered dataset.
+fn engine_with_dataset(threads: usize) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        threads,
+        cache_capacity: 32,
+        ..EngineConfig::default()
+    });
+    let domain = GridDomain::unit_cube(2, 1 << 10).unwrap();
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| {
+            vec![
+                0.3 + 0.0005 * (i % 11) as f64,
+                0.6 - 0.0005 * (i % 7) as f64,
+            ]
+        })
+        .collect();
+    engine
+        .register_dataset(
+            "surface",
+            Dataset::from_rows(rows).unwrap(),
+            domain,
+            PrivacyParams::new(6.0, 1e-4).unwrap(),
+            CompositionMode::Basic,
+        )
+        .unwrap();
+    engine
+}
+
+fn batch(seeds: std::ops::Range<u64>) -> Vec<QueryRequest> {
+    seeds
+        .map(|seed| QueryRequest {
+            dataset: "surface".into(),
+            seed,
+            privacy: PrivacyParams::new(0.4, 1e-7).unwrap(),
+            query: Query::GoodRadius { t: 100, beta: 0.1 },
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_wire_op_round_trips_and_reports_the_workload() {
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 32,
+        ..EngineConfig::default()
+    });
+    // The smoke script with a metrics request (deliberately using the `cmd`
+    // alias) inserted before shutdown.
+    let mut script = String::new();
+    for line in REQUESTS.lines() {
+        if line.contains("\"shutdown\"") {
+            script.push_str("{\"cmd\":\"metrics\"}\n");
+        }
+        script.push_str(line);
+        script.push('\n');
+    }
+    let mut out = Vec::new();
+    protocol::serve_lines(&engine, script.as_bytes(), &mut out).unwrap();
+    let produced = String::from_utf8(out).unwrap();
+    let metrics_line = produced
+        .lines()
+        .find(|l| l.contains("\"op\":\"metrics\""))
+        .expect("metrics response line");
+
+    // Round-trip through the vendored parser: the response is one JSON
+    // object whose `metrics` member is the canonical snapshot document.
+    let doc: Value = serde_json::from_str(metrics_line).expect("metrics response parses");
+    assert_eq!(get(&doc, "ok"), &Value::Bool(true));
+    let metrics = get(&doc, "metrics");
+    let histograms = get(metrics, "histograms");
+    let admission = get(histograms, "admission_seconds");
+    // Three query admissions ran before the scrape (two fresh, one cached).
+    assert_eq!(as_num(get(admission, "count")), 3.0);
+    assert!(
+        as_num(get(admission, "sum")) > 0.0,
+        "non-zero admission time"
+    );
+    let counters = get(metrics, "counters");
+    assert_eq!(as_num(get(counters, "queries_total")), 3.0);
+    assert_eq!(as_num(get(counters, "cache_hits_total")), 1.0);
+    assert_eq!(as_num(get(counters, "cache_misses_total")), 2.0);
+
+    // The budget gauges agree with the `status` op's ledger view.
+    let status = engine.status("smoke").unwrap();
+    let gauges = get(metrics, "gauges");
+    let eps = as_num(get(gauges, "budget_epsilon_remaining{dataset=\"smoke\"}"));
+    assert!((eps - status.remaining_epsilon).abs() < 1e-12);
+    let delta = as_num(get(gauges, "budget_delta_remaining{dataset=\"smoke\"}"));
+    assert!((delta - status.remaining_delta).abs() < 1e-15);
+    assert_eq!(
+        as_num(get(gauges, "budget_spend_count{dataset=\"smoke\"}")),
+        status.granted as f64
+    );
+}
+
+/// Counter totals and histogram counts per engine are a function of the
+/// workload alone, never of how the pool scheduled it.
+#[test]
+fn counters_are_thread_count_invariant() {
+    // (rendered counter series, admission count, execute count) per run.
+    type Summary = (Vec<(String, u64)>, u64, u64);
+    let mut summaries: Vec<Summary> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let engine = engine_with_dataset(threads);
+        let requests = batch(0..8);
+        for result in engine.run_batch(&requests) {
+            result.unwrap();
+        }
+        // Second pass over the same seeds: all cache hits, zero charge.
+        for result in engine.run_batch(&requests) {
+            result.unwrap();
+        }
+        let snapshot: MetricsSnapshot = engine.metrics_snapshot();
+        let counters: Vec<(String, u64)> = snapshot
+            .counters
+            .iter()
+            .map(|(id, v)| (id.render(), *v))
+            .collect();
+        let admission = snapshot.histogram("admission_seconds").unwrap();
+        let execute = snapshot.histogram("execute_seconds").unwrap();
+        // Every recorded observation landed in exactly one bucket.
+        assert_eq!(admission.buckets.iter().sum::<u64>(), admission.count);
+        assert_eq!(execute.buckets.iter().sum::<u64>(), execute.count);
+        summaries.push((counters, admission.count, execute.count));
+    }
+    let (baseline, admissions, executions) = &summaries[0];
+    assert_eq!(
+        baseline
+            .iter()
+            .find(|(name, _)| name == "queries_total")
+            .unwrap()
+            .1,
+        16
+    );
+    assert_eq!(*admissions, 16, "one admission timing per query");
+    assert_eq!(*executions, 8, "cache hits never re-execute");
+    for (counters, admission_count, execute_count) in &summaries[1..] {
+        assert_eq!(counters, baseline, "counter totals depend on thread count");
+        assert_eq!(admission_count, admissions);
+        assert_eq!(execute_count, executions);
+    }
+}
+
+/// Interleaving metrics scrapes into the smoke script must not perturb a
+/// single byte of the protocol's other responses.
+#[test]
+fn metrics_requests_are_passive_against_the_golden_transcript() {
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 32,
+        ..EngineConfig::default()
+    });
+    let mut script = String::new();
+    for line in REQUESTS.lines() {
+        // A scrape before every request, including one before shutdown.
+        script.push_str("{\"op\":\"metrics\"}\n");
+        script.push_str(line);
+        script.push('\n');
+    }
+    let mut out = Vec::new();
+    protocol::serve_lines(&engine, script.as_bytes(), &mut out).unwrap();
+    let produced = String::from_utf8(out).unwrap();
+    let non_metrics: Vec<&str> = produced
+        .lines()
+        .filter(|l| !l.contains("\"op\":\"metrics\""))
+        .collect();
+    let golden: Vec<&str> = GOLDEN.lines().collect();
+    assert_eq!(
+        non_metrics, golden,
+        "metrics scrapes perturbed the golden transcript"
+    );
+}

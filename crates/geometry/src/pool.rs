@@ -18,7 +18,28 @@
 
 use crate::sync::{into_inner_recover, lock_recover};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Jobs currently enqueued or executing across every live pool invocation
+/// in the process — a telemetry gauge, read by the engine's metrics
+/// snapshot. Maintained with the queue's own counters so it costs two
+/// atomic ops per job.
+static QUEUE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Total jobs ever handed to [`run_on_pool`] in this process (inline and
+/// parallel paths both count, so the value is thread-count-invariant).
+static JOBS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Current process-wide pool occupancy (queued + executing jobs).
+pub fn queue_depth() -> usize {
+    QUEUE_DEPTH.load(Ordering::Relaxed)
+}
+
+/// Total jobs ever submitted to the pool in this process.
+pub fn jobs_submitted() -> u64 {
+    JOBS_TOTAL.load(Ordering::Relaxed)
+}
 
 /// Runs `jobs` on up to `threads` worker threads and returns their results
 /// in submission order. `threads <= 1` degenerates to an inline loop.
@@ -27,6 +48,7 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    JOBS_TOTAL.fetch_add(jobs.len() as u64, Ordering::Relaxed);
     if threads <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
@@ -34,6 +56,7 @@ where
     let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let workers = threads.min(n);
+    QUEUE_DEPTH.fetch_add(n, Ordering::Relaxed);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -43,6 +66,7 @@ where
                     Some((index, job)) => {
                         let result = job();
                         *lock_recover(&slots[index]) = Some(result);
+                        QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
                     }
                     None => break,
                 }
@@ -110,5 +134,17 @@ mod tests {
             .collect();
         let out = run_on_pool(jobs, 2);
         assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn telemetry_counters_track_submissions() {
+        // Other tests in this process also submit jobs, so assert deltas
+        // and invariants rather than absolute values.
+        let before = jobs_submitted();
+        let jobs: Vec<_> = (0..8).map(|i| move || i).collect();
+        let _ = run_on_pool(jobs, 3);
+        let jobs: Vec<_> = (0..5).map(|i| move || i).collect();
+        let _ = run_on_pool(jobs, 1); // inline path counts too
+        assert!(jobs_submitted() >= before + 13);
     }
 }

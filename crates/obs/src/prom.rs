@@ -1,0 +1,165 @@
+//! Prometheus-style text exposition (version 0.0.4) of a
+//! [`MetricsSnapshot`], served by `serve --metrics ADDR`.
+//!
+//! Counters and gauges render one line per series; histograms render
+//! cumulative `_bucket{le=…}` lines plus `_sum` and `_count`, matching the
+//! upstream exposition format closely enough for any Prometheus-compatible
+//! scraper. Series arrive pre-sorted from the snapshot, so the output is
+//! deterministic for identical state.
+
+use crate::registry::{MetricsSnapshot, SeriesId};
+
+/// Escapes a label value for the exposition format (`\`, `"`, newline).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a sample value: integral values print without a fraction.
+fn format_value(value: f64) -> String {
+    if value.is_finite() && value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Formats a bucket bound for the `le` label.
+fn format_bound(bound: f64) -> String {
+    format!("{bound}")
+}
+
+/// Renders a series name with its labels plus optional extra pairs (used
+/// for the histogram `le` label).
+fn render_labels(id: &SeriesId, extra: &[(&str, String)]) -> String {
+    let mut parts: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    parts.extend(
+        extra
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))),
+    );
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn type_line(out: &mut String, emitted: &mut Vec<String>, name: &str, kind: &str) {
+    if !emitted.iter().any(|n| n == name) {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        emitted.push(name.to_string());
+    }
+}
+
+/// Renders the snapshot as Prometheus exposition text.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut typed = Vec::new();
+    for (id, value) in &snapshot.counters {
+        type_line(&mut out, &mut typed, &id.name, "counter");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            id.name,
+            render_labels(id, &[]),
+            format_value(*value as f64)
+        ));
+    }
+    for (id, value) in &snapshot.gauges {
+        type_line(&mut out, &mut typed, &id.name, "gauge");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            id.name,
+            render_labels(id, &[]),
+            format_value(*value)
+        ));
+    }
+    for (id, histogram) in &snapshot.histograms {
+        type_line(&mut out, &mut typed, &id.name, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in histogram.buckets.iter().enumerate() {
+            cumulative += count;
+            let le = match histogram.bounds.get(i) {
+                Some(&bound) => format_bound(bound),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                id.name,
+                render_labels(id, &[("le", le)]),
+                cumulative
+            ));
+        }
+        out.push_str(&format!(
+            "{}_sum{} {}\n",
+            id.name,
+            render_labels(id, &[]),
+            format_value(histogram.sum)
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            id.name,
+            render_labels(id, &[]),
+            histogram.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("cache_hits_total").add(3);
+        registry
+            .gauge_with("budget_epsilon_remaining", &[("dataset", "demo")])
+            .set(1.25);
+        let h = registry.histogram("admission_seconds", &[0.001, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.05);
+        h.observe(5.0);
+        let text = super::render(&registry.snapshot());
+        assert!(text.contains("# TYPE cache_hits_total counter\n"));
+        assert!(text.contains("cache_hits_total 3\n"));
+        assert!(text.contains("# TYPE budget_epsilon_remaining gauge\n"));
+        assert!(text.contains("budget_epsilon_remaining{dataset=\"demo\"} 1.25\n"));
+        assert!(text.contains("admission_seconds_bucket{le=\"0.001\"} 1\n"));
+        assert!(text.contains("admission_seconds_bucket{le=\"0.1\"} 2\n"));
+        assert!(text.contains("admission_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("admission_seconds_sum 5.0505\n"));
+        assert!(text.contains("admission_seconds_count 3\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(super::escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn type_lines_appear_once_per_name() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter_with("requests_total", &[("dataset", "a")])
+            .inc();
+        registry
+            .counter_with("requests_total", &[("dataset", "b")])
+            .inc();
+        let text = super::render(&registry.snapshot());
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1);
+    }
+}

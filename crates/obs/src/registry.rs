@@ -1,0 +1,313 @@
+//! The metrics registry: named (optionally labeled) series, resolved once
+//! into `Arc` handles so the instrumented hot paths touch only atomics.
+//!
+//! The registry's `RwLock` is taken when a series is *registered* (startup
+//! / dataset registration) and when a *snapshot* is read (a metrics scrape)
+//! — never on a per-query record. Snapshots are a consistent point-in-time
+//! read: every series is read once under the same read guard, and histogram
+//! totals are derived from the bucket counts read at that instant.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::{read_recover, write_recover};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// The identity of one series: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesId {
+    /// Metric name (`snake_case`, `_total`/`_seconds` suffix conventions).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> SeriesId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Canonical rendering: `name` or `name{k="v",…}` with keys sorted —
+    /// used as the JSON object key and the Prometheus series name.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", crate::prom::escape_label(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<SeriesId, Arc<Counter>>,
+    gauges: BTreeMap<SeriesId, Arc<Gauge>>,
+    histograms: BTreeMap<SeriesId, Arc<Histogram>>,
+}
+
+/// A registry of named metric series.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name` (no labels), created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The labeled counter, created on first use.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = SeriesId::new(name, labels);
+        if let Some(existing) = read_recover(&self.inner).counters.get(&id) {
+            return Arc::clone(existing);
+        }
+        Arc::clone(
+            write_recover(&self.inner)
+                .counters
+                .entry(id)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name` (no labels), created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The labeled gauge, created on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = SeriesId::new(name, labels);
+        if let Some(existing) = read_recover(&self.inner).gauges.get(&id) {
+            return Arc::clone(existing);
+        }
+        Arc::clone(
+            write_recover(&self.inner)
+                .gauges
+                .entry(id)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name` with the given bucket bounds, created on
+    /// first use. A later call with different bounds returns the existing
+    /// series unchanged (bucket layouts are per-name configuration).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// The labeled histogram, created on first use.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let id = SeriesId::new(name, labels);
+        if let Some(existing) = read_recover(&self.inner).histograms.get(&id) {
+            return Arc::clone(existing);
+        }
+        Arc::clone(
+            write_recover(&self.inner)
+                .histograms
+                .entry(id)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A consistent point-in-time read of every registered series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = read_recover(&self.inner);
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(id, c)| (id.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(id, g)| (id.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(id, h)| (id.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time read of a whole [`MetricsRegistry`], in sorted series
+/// order (the `BTreeMap` iteration order), so two snapshots of identical
+/// state render identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter series and their values.
+    pub counters: Vec<(SeriesId, u64)>,
+    /// Gauge series and their values.
+    pub gauges: Vec<(SeriesId, f64)>,
+    /// Histogram series and their snapshots.
+    pub histograms: Vec<(SeriesId, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as a canonical JSON value:
+    ///
+    /// ```json
+    /// {"counters":{"cache_hits_total":3},
+    ///  "gauges":{"budget_epsilon_remaining{dataset=\"demo\"}":1.5},
+    ///  "histograms":{"admission_seconds":{"bounds":[…],"buckets":[…],
+    ///                "sum":0.01,"count":4}}}
+    /// ```
+    ///
+    /// Series keys are the [`SeriesId::render`] strings, already sorted.
+    pub fn to_json_value(&self) -> Value {
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .iter()
+            .map(|(id, v)| (id.render(), Value::Number(*v as f64)))
+            .collect();
+        let gauges: Vec<(String, Value)> = self
+            .gauges
+            .iter()
+            .map(|(id, v)| (id.render(), Value::Number(*v)))
+            .collect();
+        let histograms: Vec<(String, Value)> = self
+            .histograms
+            .iter()
+            .map(|(id, h)| {
+                (
+                    id.render(),
+                    Value::Object(vec![
+                        (
+                            "bounds".to_string(),
+                            Value::Array(h.bounds.iter().map(|&b| Value::Number(b)).collect()),
+                        ),
+                        (
+                            "buckets".to_string(),
+                            Value::Array(
+                                h.buckets.iter().map(|&c| Value::Number(c as f64)).collect(),
+                            ),
+                        ),
+                        ("sum".to_string(), Value::Number(h.sum)),
+                        ("count".to_string(), Value::Number(h.count as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(histograms)),
+        ])
+    }
+
+    /// Looks a histogram up by metric name (first series with that name).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(id, _)| id.name == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Looks a counter up by rendered series id.
+    pub fn counter(&self, rendered: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(id, _)| id.render() == rendered)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks a gauge up by rendered series id.
+    pub fn gauge(&self, rendered: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(id, _)| id.render() == rendered)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_series() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("requests_total");
+        let b = registry.counter("requests_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let labeled = registry.counter_with("requests_total", &[("dataset", "demo")]);
+        assert!(!Arc::ptr_eq(&a, &labeled));
+        labeled.add(3);
+        assert_eq!(a.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let registry = MetricsRegistry::new();
+        let a = registry.gauge_with("g", &[("x", "1"), ("y", "2")]);
+        let b = registry.gauge_with("g", &[("y", "2"), ("x", "1")]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.get(), b.get());
+    }
+
+    #[test]
+    fn snapshot_renders_canonical_json() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zeta_total").add(2);
+        registry.counter("alpha_total").inc();
+        registry
+            .gauge_with("budget_epsilon_remaining", &[("dataset", "demo")])
+            .set(1.5);
+        registry.histogram("lat_seconds", &[0.1, 1.0]).observe(0.05);
+        let snapshot = registry.snapshot();
+        let json = serde_json::to_string(&snapshot.to_json_value()).unwrap();
+        // Sorted keys: alpha before zeta.
+        assert!(json.find("alpha_total").unwrap() < json.find("zeta_total").unwrap());
+        assert!(
+            json.contains(r#"budget_epsilon_remaining{dataset=\"demo\"}"#)
+                || json.contains(r#"budget_epsilon_remaining{dataset="demo"}"#)
+        );
+        assert_eq!(snapshot.counter("alpha_total"), Some(1));
+        assert_eq!(snapshot.counter("zeta_total"), Some(2));
+        assert_eq!(
+            snapshot.gauge("budget_epsilon_remaining{dataset=\"demo\"}"),
+            Some(1.5)
+        );
+        let h = snapshot.histogram("lat_seconds").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn two_snapshots_of_identical_state_render_identically() {
+        let registry = MetricsRegistry::new();
+        registry.counter_with("c_total", &[("k", "v")]).add(7);
+        registry.histogram("h_seconds", &[0.5]).observe(0.1);
+        let a = serde_json::to_string(&registry.snapshot().to_json_value()).unwrap();
+        let b = serde_json::to_string(&registry.snapshot().to_json_value()).unwrap();
+        assert_eq!(a, b);
+    }
+}

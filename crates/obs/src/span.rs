@@ -1,0 +1,150 @@
+//! Spans: named, parent-linked timing scopes over the monotonic clock.
+//!
+//! A span is deliberately lightweight — an id, a name, a started
+//! [`Stopwatch`], and a small annotation list. It does **not** ship to a
+//! tracing backend; it exists to (a) time a stage and feed the elapsed
+//! seconds into a histogram sink, and (b) give the `event-payload-leak`
+//! lint a single annotation choke point to audit. Annotations are bound by
+//! the same no-payload-data contract as events: stage labels, counts, and
+//! fingerprints only.
+
+use crate::metrics::Histogram;
+use crate::time::Stopwatch;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique span identifier (ids are allocation order, not time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// A started timing scope. Dropping a span without [`Span::finish`] simply
+/// discards the measurement — telemetry never owes the hot path anything.
+#[derive(Debug)]
+pub struct Span {
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    annotations: Vec<(&'static str, String)>,
+    clock: Stopwatch,
+    sink: Option<Arc<Histogram>>,
+}
+
+impl Span {
+    /// Starts a root span.
+    pub fn start(name: &'static str) -> Span {
+        Span {
+            id: SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)),
+            parent: None,
+            name,
+            annotations: Vec::new(),
+            clock: Stopwatch::start(),
+            sink: None,
+        }
+    }
+
+    /// Starts a child span linked to this one.
+    pub fn child(&self, name: &'static str) -> Span {
+        Span {
+            parent: Some(self.id),
+            ..Span::start(name)
+        }
+    }
+
+    /// Routes the elapsed seconds of [`Span::finish`] into `histogram`.
+    pub fn with_histogram(mut self, histogram: Arc<Histogram>) -> Span {
+        self.sink = Some(histogram);
+        self
+    }
+
+    /// Attaches a stage label. Per the no-payload-data contract the value
+    /// must be a stage name, count, seq number, fingerprint, or `(ε, δ)`
+    /// aggregate — never a coordinate, radius, or released value (the
+    /// `event-payload-leak` lint checks call sites).
+    pub fn annotate(&mut self, key: &'static str, value: impl ToString) {
+        self.annotations.push((key, value.to_string()));
+    }
+
+    /// This span's id.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The parent span's id, if this is a child span.
+    pub fn parent(&self) -> Option<SpanId> {
+        self.parent
+    }
+
+    /// The span name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The annotations attached so far.
+    pub fn annotations(&self) -> &[(&'static str, String)] {
+        &self.annotations
+    }
+
+    /// Seconds elapsed so far, without finishing the span.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.clock.elapsed_seconds()
+    }
+
+    /// Finishes the span: reads the elapsed seconds, records them into the
+    /// histogram sink (if any), and returns them.
+    pub fn finish(self) -> f64 {
+        let elapsed = self.clock.elapsed_seconds();
+        if let Some(sink) = &self.sink {
+            sink.observe(elapsed);
+        }
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_link_and_time() {
+        let mut root = Span::start("engine.admit");
+        root.annotate("stage", "plan");
+        root.annotate("seq", 7u64);
+        let child = root.child("engine.charge");
+        assert_eq!(child.parent(), Some(root.id()));
+        assert_ne!(child.id(), root.id());
+        assert_eq!(root.name(), "engine.admit");
+        assert_eq!(root.annotations().len(), 2);
+        assert!(root.elapsed_seconds() >= 0.0);
+        assert!(child.finish() >= 0.0);
+        assert!(root.finish() >= 0.0);
+    }
+
+    #[test]
+    fn finish_feeds_the_histogram_sink() {
+        let h = Arc::new(Histogram::latency());
+        let span = Span::start("stage").with_histogram(Arc::clone(&h));
+        let elapsed = span.finish();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!((snap.sum - elapsed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let ids: Vec<SpanId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| (0..100).map(|_| Span::start("t").id()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let unique: std::collections::HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+}

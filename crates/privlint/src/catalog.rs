@@ -121,6 +121,25 @@ function legitimately handles both in a read-only replay path, waive with a \
 reason explaining why no journal write happens.",
     },
     RuleInfo {
+        id: "event-payload-leak",
+        summary: "a payload-named identifier (`data`/`coords`/`point`/`radius`/`value`) at an `event!`/`annotate` telemetry site",
+        scope: "library code of every crate, inside `event!(…)` and `.annotate(…)` call windows",
+        motivation: "PR 7's telemetry privacy contract (crates/obs, \"The \
+no-payload-data contract\"): the observability layer exports timings, counts, \
+sequence numbers, fingerprints, and (ε, δ) aggregates — never coordinates, \
+radii, or released values. One event field that captures a payload value turns \
+the metrics endpoint and the events log into an unbudgeted side channel that \
+bypasses the accountant entirely. Field names are the auditable surface, so a \
+payload-named identifier at a telemetry site is treated as a leak until proven \
+(and waived) otherwise.",
+        fix: "Export an aggregate instead of the value itself — a count, an \
+elapsed-seconds reading, or a fingerprint. Identifier segments are matched \
+exactly after splitting on `_`: `dataset` and `points` are fine, `data` and \
+`point_coords` are not. If a flagged identifier provably carries no payload \
+(e.g. it counts radius buckets rather than holding a radius), waive with that \
+proof as the reason.",
+    },
+    RuleInfo {
         id: "malformed-waiver",
         summary: "a `privlint::allow` comment that is unparseable, reasonless, or names an unknown rule",
         scope: "every scanned file",

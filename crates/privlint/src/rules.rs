@@ -1,4 +1,4 @@
-//! The rule engine: seven token-level checks, each encoding a bug class
+//! The rule engine: eight token-level checks, each encoding a bug class
 //! that was found and fixed by hand once (see [`crate::catalog`] for the
 //! history). Rules run over the significant-token stream of one file at a
 //! time; scoping (crate, test region, file name) is decided here so a rule
@@ -45,6 +45,7 @@ pub fn run_rules(scope: &FileScope, sig: &SigTokens<'_>) -> Vec<Finding> {
     float_ord_unwrap(scope, sig, &lib, &mut findings);
     wire_int_cast(scope, sig, &lib, &mut findings);
     journal_order(scope, sig, &lib, &mut findings);
+    event_payload_leak(scope, sig, &lib, &mut findings);
     findings.sort_by_key(|f| (f.line, f.col));
     findings
 }
@@ -354,6 +355,56 @@ must be journaled and fsynced before any result is released (PR-5 soundness orde
     }
 }
 
+/// `event-payload-leak` — a payload-named identifier inside a telemetry
+/// `event!(…)` or `.annotate(…)` call site. The telemetry privacy contract
+/// (crates/obs, "The no-payload-data contract") allows timings, counts, seq
+/// numbers, fingerprints, and `(ε, δ)` aggregates through the event stream
+/// — never coordinates, radii, or released values. Identifier segments are
+/// matched exactly after splitting on `_`, so `dataset` and `points` stay
+/// clean while `data`, `point_coords` and `released_value` are flagged.
+fn event_payload_leak(
+    _scope: &FileScope,
+    sig: &SigTokens<'_>,
+    lib: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    const PAYLOAD: &[&str] = &["data", "coords", "point", "radius", "value"];
+    for i in 0..sig.len() {
+        let (open, site) =
+            if sig.is_ident(i, "event") && sig.is_punct(i + 1, "!") && sig.is_punct(i + 2, "(") {
+                (i + 2, "`event!`")
+            } else if sig.is_punct(i, ".")
+                && sig.is_ident(i + 1, "annotate")
+                && sig.is_punct(i + 2, "(")
+            {
+                (i + 2, "`Span::annotate`")
+            } else {
+                continue;
+            };
+        if !lib(sig.tok(i).line) {
+            continue;
+        }
+        let Some(close) = sig.matching_close(open, "(", ")") else {
+            continue;
+        };
+        for j in (open + 1)..close {
+            if sig.ident_matches(j, |t| t.split('_').any(|seg| PAYLOAD.contains(&seg))) {
+                push(
+                    findings,
+                    "event-payload-leak",
+                    sig,
+                    j,
+                    format!(
+                        "`{}` names payload data inside a {site} site — telemetry may carry \
+timings, counts, seq numbers, fingerprints, and (ε, δ) aggregates only",
+                        sig.text(j),
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +444,28 @@ mod tests {
         assert_eq!(check("crates/dp/src/a.rs", salted).len(), 0);
         // out of mechanism scope
         assert_eq!(check("crates/datagen/src/a.rs", unsalted).len(), 0);
+    }
+
+    #[test]
+    fn event_payload_leak_matches_exact_segments_only() {
+        let hit =
+            "fn f(ev: &EventStream, r: f64) { event!(ev, Severity::Info, \"q\", radius = r); }";
+        let f = check("crates/engine/src/a.rs", hit);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "event-payload-leak");
+        // `dataset`/`points` contain banned words only as substrings, not
+        // as whole `_`-separated segments — the aggregate names stay legal.
+        let clean = "fn f(ev: &EventStream) { event!(ev, Severity::Info, \"q\", dataset = name, points = n); }";
+        assert_eq!(check("crates/engine/src/a.rs", clean).len(), 0);
+        // One finding per offending identifier, even with several banned
+        // segments inside it; annotate sites are covered too.
+        let annotate = "fn f(s: &mut Span) { s.annotate(\"k\", point_coords.len()); }";
+        let f = check("crates/obs/src/a.rs", annotate);
+        assert_eq!(f.len(), 1);
+        // Payload-named identifiers *outside* a telemetry site are not this
+        // rule's business.
+        let outside = "fn f(radius: f64) -> f64 { radius * 2.0 }";
+        assert_eq!(check("crates/engine/src/a.rs", outside).len(), 0);
     }
 
     #[test]

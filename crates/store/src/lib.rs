@@ -46,7 +46,7 @@ pub use journal::{Journal, JournalScan};
 pub use record::{ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, StoreRecord};
 pub use recovery::StoreState;
 pub use snapshot::Snapshot;
-pub use store::{RecoveryReport, Store, StoreConfig};
+pub use store::{RecoveryReport, Store, StoreConfig, StoreObserver};
 
 #[cfg(test)]
 pub(crate) mod test_dir {

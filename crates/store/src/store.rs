@@ -6,8 +6,21 @@ use crate::journal::Journal;
 use crate::record::StoreRecord;
 use crate::recovery::StoreState;
 use crate::snapshot::{load_latest, write_snapshot, Snapshot};
+use privcluster_obs::{event, EventStream, Histogram, Severity, Stopwatch};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Telemetry hooks a host (the engine) can attach to a store: a histogram
+/// for commit fsync latency and an event stream for snapshot lifecycle
+/// moments. Per the obs no-payload-data contract, the store reports
+/// timings, sequence numbers, and failure reasons — never record contents.
+#[derive(Debug, Clone)]
+pub struct StoreObserver {
+    /// Receives the duration of each fsynced journal append, in seconds.
+    pub fsync_seconds: Arc<Histogram>,
+    /// Receives `store.snapshot` / `store.snapshot_failed` events.
+    pub events: Arc<EventStream>,
+}
 
 /// Where and how a [`Store`] persists engine state.
 #[derive(Debug, Clone)]
@@ -66,6 +79,7 @@ pub struct RecoveryReport {
 pub struct Store {
     inner: Mutex<Inner>,
     config: StoreConfig,
+    observer: OnceLock<StoreObserver>,
 }
 
 #[derive(Debug)]
@@ -105,6 +119,7 @@ impl Store {
                     appends_since_snapshot: 0,
                 }),
                 config,
+                observer: OnceLock::new(),
             },
             report,
         ))
@@ -125,42 +140,75 @@ impl Store {
         let record = record.with_seq(seq);
         let sync_on_commit =
             self.config.sync_on_commit && !matches!(record, StoreRecord::Release(_));
-        inner.journal.append(&record, sync_on_commit)?;
+        match (sync_on_commit, self.observer.get()) {
+            (true, Some(observer)) => {
+                let clock = Stopwatch::start();
+                inner.journal.append(&record, sync_on_commit)?;
+                observer.fsync_seconds.observe(clock.elapsed_seconds());
+            }
+            _ => inner.journal.append(&record, sync_on_commit)?,
+        }
         inner.state.apply(&record);
         inner.appends_since_snapshot += 1;
         if self.config.snapshot_every > 0
             && inner.appends_since_snapshot >= self.config.snapshot_every
         {
-            if let Err(e) = Self::snapshot_locked(&mut inner, &self.config) {
+            if let Err(e) = Self::snapshot_locked(&mut inner, &self.config, self.observer.get()) {
                 // A failed snapshot does not lose state — the journal has
                 // everything — so it degrades to a visible warning rather
                 // than failing the append that triggered it.
                 eprintln!("privcluster-store: snapshot failed: {e}");
+                if let Some(observer) = self.observer.get() {
+                    event!(
+                        observer.events,
+                        Severity::Warn,
+                        "store.snapshot_failed",
+                        journal_seq = seq,
+                        reason = e.to_string(),
+                    );
+                }
             }
         }
         Ok(seq)
+    }
+
+    /// Attaches telemetry hooks. The first observer wins; later calls are
+    /// ignored (the engine attaches exactly one at open time).
+    pub fn set_observer(&self, observer: StoreObserver) {
+        let _ = self.observer.set(observer);
     }
 
     /// Writes a snapshot of the current state immediately. Returns the
     /// snapshot path, or `None` when no snapshot directory is configured.
     pub fn snapshot_now(&self) -> Result<Option<PathBuf>, StoreError> {
         let mut inner = self.inner.lock().expect("store lock poisoned");
-        Self::snapshot_locked(&mut inner, &self.config)
+        Self::snapshot_locked(&mut inner, &self.config, self.observer.get())
     }
 
     fn snapshot_locked(
         inner: &mut Inner,
         config: &StoreConfig,
+        observer: Option<&StoreObserver>,
     ) -> Result<Option<PathBuf>, StoreError> {
         let Some(dir) = &config.snapshot_dir else {
             return Ok(None);
         };
+        let clock = observer.map(|_| Stopwatch::start());
         let path = write_snapshot(dir, &inner.state.to_snapshot())?;
         // The snapshot is durable (fsync + atomic rename): checkpoint the
         // journal so recovery replays a bounded tail instead of the whole
         // history. A crash in between is safe — replay is sequence-gated.
         inner.journal.reset()?;
         inner.appends_since_snapshot = 0;
+        if let (Some(observer), Some(clock)) = (observer, clock) {
+            event!(
+                observer.events,
+                Severity::Info,
+                "store.snapshot",
+                journal_seq = inner.state.seq(),
+                elapsed_seconds = clock.elapsed_seconds(),
+            );
+        }
         Ok(Some(path))
     }
 

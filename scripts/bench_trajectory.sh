@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Records one benchmark trajectory point.
+#
+#   scripts/bench_trajectory.sh [OUT.json]
+#
+# Runs the selected criterion benches with the shim's CRITERION_EXPORT_JSON
+# export enabled, drives the release `serve` binary through the smoke
+# workload and scrapes its latency histograms via the `{"cmd":"metrics"}`
+# wire op, then merges both into one sorted JSON document
+# (bench name -> {p50, p90, mean, n}, seconds). Successive PRs commit
+# successive BENCH_<pr>.json files, so performance history lives in git.
+#
+# BENCHES overrides the bench-target list (space-separated); the default
+# covers the core algorithm and the end-to-end engine path without taking
+# all afternoon.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_7.json}"
+BENCHES="${BENCHES:-bench_good_radius bench_engine_throughput}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo build --release -q -p privcluster-engine --bin serve
+cargo build --release -q -p privcluster-bench --bin trajectory_summary
+
+export CRITERION_EXPORT_JSON="$TMP/criterion.jsonl"
+for bench in $BENCHES; do
+  cargo bench -q -p privcluster-bench --bench "$bench"
+done
+
+# The smoke workload with a metrics scrape inserted before shutdown; the
+# scrape response line is the canonical snapshot document.
+head -n -1 crates/engine/tests/data/smoke_requests.jsonl > "$TMP/requests.jsonl"
+printf '%s\n' '{"cmd":"metrics"}' '{"op":"shutdown"}' >> "$TMP/requests.jsonl"
+./target/release/serve --in-memory < "$TMP/requests.jsonl" > "$TMP/responses.jsonl"
+grep '"op":"metrics"' "$TMP/responses.jsonl" > "$TMP/metrics.json"
+
+./target/release/trajectory_summary "$CRITERION_EXPORT_JSON" "$TMP/metrics.json" > "$OUT"
+echo "bench trajectory written to $OUT" >&2

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Metrics smoke test: prove the telemetry plane is wired end to end AND
+# observably passive, against the release `serve` binary.
+#
+# Phase 1 (in-memory): run the smoke workload with a `{"op":"metrics"}`
+# scrape interleaved before every request and the `--metrics` endpoint
+# bound on an ephemeral port. Asserts:
+#   * the Prometheus scrape (bash /dev/tcp, no curl needed) exposes the
+#     required series — admission_seconds, fsync_seconds, cache_hits_total,
+#     budget_epsilon_remaining — and the per-dataset budget gauge carries
+#     the post-workload headroom (8 - 1 - 4 = 3 ε remaining);
+#   * filtering the metrics responses out of the transcript leaves it
+#     byte-identical to the committed golden file: telemetry perturbs
+#     nothing.
+#
+# Phase 2 (journaled): replay the same workload in write-ahead mode with
+# `--events`. Asserts the `{"cmd":"metrics"}` wire op (the `cmd` alias, so
+# both spellings stay live) reports a non-empty fsync histogram, and the
+# events file carries the structured `serve.banner` recovery event.
+set -euo pipefail
+
+BIN=${1:-./target/release/serve}
+DATA=crates/engine/tests/data
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+fail() {
+    echo "metrics smoke: $1" >&2
+    exit 1
+}
+
+# --- Phase 1: in-memory, interleaved scrapes + endpoint + passivity ------
+head -n -1 "$DATA/smoke_requests.jsonl" \
+    | awk '{print "{\"op\":\"metrics\"}"; print}' > "$WORK/phase1_pre.jsonl"
+EXPECTED=$(wc -l < "$WORK/phase1_pre.jsonl")
+
+mkfifo "$WORK/requests"
+"$BIN" --in-memory --metrics 127.0.0.1:0 < "$WORK/requests" \
+    > "$WORK/phase1.jsonl" 2>"$WORK/phase1.err" &
+SERVE_PID=$!
+exec 3>"$WORK/requests"
+
+cat "$WORK/phase1_pre.jsonl" >&3
+for _ in $(seq 1 600); do
+    [ "$(wc -l < "$WORK/phase1.jsonl")" -ge "$EXPECTED" ] && break
+    sleep 0.1
+done
+[ "$(wc -l < "$WORK/phase1.jsonl")" -ge "$EXPECTED" ] || {
+    cat "$WORK/phase1.err" >&2
+    fail "phase 1 stalled"
+}
+
+# Scrape the Prometheus endpoint over /dev/tcp while the service is live.
+grep -q "metrics listening on" "$WORK/phase1.err" || fail "no metrics listener banner"
+ADDR=$(sed -n 's/.*metrics listening on //p' "$WORK/phase1.err" | head -1)
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+exec 4<>"/dev/tcp/$HOST/$PORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+cat <&4 > "$WORK/scrape.http"
+exec 4>&- 4<&-
+sed '1,/^\r\{0,1\}$/d' "$WORK/scrape.http" > "$WORK/scrape.txt"
+
+for series in admission_seconds fsync_seconds cache_hits_total budget_epsilon_remaining; do
+    grep -q "^# TYPE $series" "$WORK/scrape.txt" \
+        || fail "series $series missing from the scrape"
+done
+grep -q 'budget_epsilon_remaining{dataset="smoke"} 3' "$WORK/scrape.txt" \
+    || fail "per-dataset budget gauge wrong or missing in the scrape"
+grep -q 'admission_seconds_count 3' "$WORK/scrape.txt" \
+    || fail "admission histogram did not record the three smoke queries"
+
+# Shut down cleanly, then prove passivity against the golden transcript.
+printf '%s\n' '{"op":"metrics"}' '{"op":"shutdown"}' >&3
+exec 3>&-
+wait "$SERVE_PID" || fail "serve exited non-zero in phase 1"
+SERVE_PID=""
+grep -v '"op":"metrics"' "$WORK/phase1.jsonl" > "$WORK/phase1_filtered.jsonl"
+diff "$DATA/smoke_golden.jsonl" "$WORK/phase1_filtered.jsonl" \
+    || fail "metrics scrapes perturbed the golden transcript"
+
+# --- Phase 2: journaled mode — fsync histogram + structured events -------
+head -n -1 "$DATA/smoke_requests.jsonl" > "$WORK/phase2_requests.jsonl"
+printf '%s\n' '{"cmd":"metrics"}' '{"op":"shutdown"}' >> "$WORK/phase2_requests.jsonl"
+"$BIN" --journal "$WORK/journal.pcsj" --events "$WORK/events.jsonl" \
+    < "$WORK/phase2_requests.jsonl" > "$WORK/phase2.jsonl" 2>"$WORK/phase2.err"
+
+grep '"op":"metrics"' "$WORK/phase2.jsonl" > "$WORK/phase2_metrics.json" \
+    || fail "no metrics response in phase 2 (cmd alias broken?)"
+grep -q '"ok":true' "$WORK/phase2_metrics.json" || fail "metrics op not ok in phase 2"
+FSYNC=$(grep -o '"fsync_seconds":{[^}]*}' "$WORK/phase2_metrics.json") \
+    || fail "fsync_seconds histogram missing from the snapshot"
+case "$FSYNC" in
+    *'"count":0'*) fail "fsync histogram empty in journaled mode" ;;
+esac
+grep -q '"event":"serve.banner"' "$WORK/events.jsonl" \
+    || fail "structured serve.banner event missing from the events file"
+
+echo "metrics smoke: OK"

@@ -23,7 +23,12 @@
 //! * [`store`] — the engine's durability layer: an append-only checksummed
 //!   journal of registrations, budget charges, and released results,
 //!   periodic snapshots, and deterministic crash recovery (spent budget
-//!   survives restarts — never refunded).
+//!   survives restarts — never refunded);
+//! * [`obs`] — privacy-aware telemetry: lock-free metrics (counters,
+//!   gauges, latency histograms), spans, and a bounded structured event
+//!   stream, all bound by the no-payload-data contract (timings, counts,
+//!   fingerprints and `(ε, δ)` aggregates only — never coordinates, radii,
+//!   or released values).
 //!
 //! # Quick start
 //!
@@ -55,6 +60,7 @@ pub use privcluster_dp as dp;
 pub use privcluster_engine as engine;
 pub use privcluster_geometry as geometry;
 pub use privcluster_lowerbound as lowerbound;
+pub use privcluster_obs as obs;
 pub use privcluster_report as report;
 pub use privcluster_store as store;
 
@@ -79,5 +85,6 @@ pub mod prelude {
         BackendKind, Ball, Dataset, GeometryBackend, GeometryIndex, GridDomain, Point,
         ProjectedBackend, ProjectedConfig,
     };
+    pub use privcluster_obs::{EventStream, MetricsRegistry, MetricsSnapshot, Severity, Span};
     pub use privcluster_store::{Store, StoreConfig};
 }

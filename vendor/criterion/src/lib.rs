@@ -247,6 +247,45 @@ fn run_one(criterion: &Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
         format_time(mean),
         format_time(max)
     );
+    export_json(name, &secs, mean);
+}
+
+/// Machine-readable export: when `CRITERION_EXPORT_JSON` names a file, each
+/// benchmark appends one JSON line `{"name","p50","p90","mean","n"}` with
+/// per-sample quantiles in seconds. `scripts/bench_trajectory.sh` merges
+/// these lines into the repo's `BENCH_*.json` trajectory points.
+fn export_json(name: &str, secs: &[f64], mean: f64) {
+    let Ok(path) = std::env::var("CRITERION_EXPORT_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut sorted = secs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let quantile = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"p50\":{:e},\"p90\":{:e},\"mean\":{mean:e},\"n\":{}}}\n",
+        quantile(0.5),
+        quantile(0.9),
+        sorted.len(),
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        use std::io::Write as _;
+        let _ = file.write_all(line.as_bytes());
+    }
 }
 
 fn format_time(secs: f64) -> String {
