@@ -66,6 +66,7 @@ fn register(engine: &Engine) {
 fn request(seed: u64) -> QueryRequest {
     QueryRequest {
         dataset: "bench".into(),
+        version: None,
         seed,
         privacy: PrivacyParams::new(0.01, 1e-9).unwrap(),
         query: Query::GoodRadius { t: 40, beta: 0.1 },

@@ -55,6 +55,7 @@ fn workload_from(first_seed: u64) -> Vec<QueryRequest> {
     (first_seed..first_seed + BATCH as u64)
         .map(|seed| QueryRequest {
             dataset: "bench".into(),
+            version: None,
             seed,
             privacy: PrivacyParams::new(1.0, 1e-8).unwrap(),
             query: Query::GoodRadius { t: 250, beta: 0.1 },
@@ -137,6 +138,7 @@ fn bench_engine_backend_scaling(c: &mut Criterion) {
     let requests: Vec<QueryRequest> = (0..BATCH as u64)
         .map(|seed| QueryRequest {
             dataset: "bench".into(),
+            version: None,
             seed,
             privacy: PrivacyParams::new(1.0, 1e-8).unwrap(),
             query: Query::GoodRadius {

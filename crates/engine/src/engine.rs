@@ -18,7 +18,9 @@
 
 use crate::cache::ResultCache;
 use crate::error::EngineError;
-use crate::fingerprint::registration_fingerprint;
+use crate::fingerprint::{
+    registration_fingerprint, versioned_query_fingerprint, versioned_registration_fingerprint,
+};
 use crate::planner::{plan, Plan};
 use crate::pool::run_on_pool;
 use crate::query::{QueryRequest, QueryValue};
@@ -30,8 +32,8 @@ use privcluster_geometry::sync::lock_recover;
 use privcluster_geometry::{BackendKind, Dataset, GridDomain};
 use privcluster_obs::{event, EventStream, MetricsSnapshot, Severity, Stopwatch};
 use privcluster_store::{
-    ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, Store, StoreConfig, StoreObserver,
-    StoreRecord,
+    ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, ReregisterRecord, Store, StoreConfig,
+    StoreObserver, StoreRecord,
 };
 use serde::Serialize as _;
 use std::collections::HashMap;
@@ -70,6 +72,9 @@ impl Default for EngineConfig {
 pub struct DatasetStatus {
     /// Registered name.
     pub name: String,
+    /// Position in the name's version chain (1 = original registration;
+    /// each re-registration appends the next version).
+    pub version: u64,
     /// Number of points (public: declared at registration).
     pub points: usize,
     /// Ambient dimension.
@@ -86,6 +91,11 @@ pub struct DatasetStatus {
     pub refused: usize,
     /// Composed spend under the selected theorem (`None` before any grant).
     pub spent: Option<PrivacyParams>,
+    /// The chain's composed spend at the moment this version was created
+    /// (`None` for version 1, or when nothing had been granted yet). The
+    /// live `spent` keeps growing in the shared ledger; this pins what the
+    /// version started from.
+    pub inherited_spend: Option<PrivacyParams>,
     /// ε still unspent.
     pub remaining_epsilon: f64,
     /// δ still unspent (the other coordinate of the remaining budget, so
@@ -207,74 +217,141 @@ impl Engine {
             );
         }
 
+        // Replay registrations, re-registrations, and charges **merged in
+        // journal order**. The order matters for versioning: a
+        // re-registration's inherited spend is the chain's composed spend
+        // at that point in the journal, so every charge committed before
+        // it must already be restored when the successor entry is built —
+        // only then does the recovered `inherited_spend` match what the
+        // live engine captured under the accountant lock.
+        enum Step<'a> {
+            Register(&'a RegisterRecord),
+            Reregister(&'a ReregisterRecord),
+            Charge(&'a ChargeRecord),
+        }
+        let mut steps: Vec<(u64, Step)> = Vec::new();
         for reg in report.state.registers() {
-            let kind = match reg.backend.as_str() {
-                "exact" => BackendKind::Exact,
-                "projected" => BackendKind::Projected,
-                other => {
-                    return Err(EngineError::Durability(format!(
-                        "journaled registration of `{}` names unknown backend `{other}`",
-                        reg.dataset
-                    )))
-                }
-            };
-            let domain = GridDomain::new(
-                reg.domain.dim,
-                reg.domain.size,
-                reg.domain.min,
-                reg.domain.max,
-            )
-            .map_err(|e| {
-                EngineError::Durability(format!(
-                    "journaled domain of `{}` does not validate: {e}",
-                    reg.dataset
-                ))
-            })?;
-            let dataset = Dataset::from_rows(reg.rows.clone()).map_err(|e| {
-                EngineError::Durability(format!(
-                    "journaled rows of `{}` do not validate: {e}",
-                    reg.dataset
-                ))
-            })?;
-            let rebuilt = registration_fingerprint(
-                &reg.dataset,
-                &dataset,
-                &domain,
-                reg.budget,
-                reg.mode,
-                kind,
-            );
-            if rebuilt != reg.fingerprint {
-                return Err(EngineError::Durability(format!(
-                    "registration fingerprint mismatch for `{}`: journal says {}, rebuilt {}",
-                    reg.dataset, reg.fingerprint, rebuilt
-                )));
-            }
-            let entry =
-                DatasetEntry::new(&reg.dataset, dataset, domain, reg.budget, reg.mode, kind)
+            steps.push((reg.seq, Step::Register(reg)));
+        }
+        for rereg in report.state.reregisters() {
+            steps.push((rereg.seq, Step::Reregister(rereg)));
+        }
+        for charge in report.state.charges() {
+            steps.push((charge.seq, Step::Charge(charge)));
+        }
+        steps.sort_by_key(|(seq, _)| *seq);
+        for (_, step) in steps {
+            match step {
+                Step::Register(reg) => {
+                    let kind = replayed_backend_kind(&reg.dataset, &reg.backend)?;
+                    let domain = replayed_domain(&reg.dataset, &reg.domain)?;
+                    let dataset = replayed_rows(&reg.dataset, &reg.rows)?;
+                    let rebuilt = registration_fingerprint(
+                        &reg.dataset,
+                        &dataset,
+                        &domain,
+                        reg.budget,
+                        reg.mode,
+                        kind,
+                    );
+                    if rebuilt != reg.fingerprint {
+                        return Err(EngineError::Durability(format!(
+                            "registration fingerprint mismatch for `{}`: journal says {}, rebuilt {}",
+                            reg.dataset, reg.fingerprint, rebuilt
+                        )));
+                    }
+                    let entry = DatasetEntry::new(
+                        &reg.dataset,
+                        dataset,
+                        domain,
+                        reg.budget,
+                        reg.mode,
+                        kind,
+                    )
                     .map_err(|e| EngineError::Durability(e.to_string()))?;
-            let entry = engine
-                .registry
-                .register(entry)
-                .map_err(|e| EngineError::Durability(e.to_string()))?;
+                    engine
+                        .registry
+                        .register(entry)
+                        .map_err(|e| EngineError::Durability(e.to_string()))?;
+                }
+                Step::Reregister(rereg) => {
+                    let kind = replayed_backend_kind(&rereg.dataset, &rereg.backend)?;
+                    let domain = replayed_domain(&rereg.dataset, &rereg.domain)?;
+                    let dataset = replayed_rows(&rereg.dataset, &rereg.rows)?;
+                    let current = engine.registry.get(&rereg.dataset).map_err(|_| {
+                        EngineError::Durability(format!(
+                            "journaled re-registration v{} references unregistered dataset `{}`",
+                            rereg.version, rereg.dataset
+                        ))
+                    })?;
+                    // The budget and mode are inherited, never journaled on
+                    // the re-registration record: read them — and the spend
+                    // accumulated so far — from the chain's accountant.
+                    let (inherited, budget, mode) = {
+                        let accountant = current.accountant();
+                        (
+                            accountant.composed_spend(),
+                            accountant.budget(),
+                            accountant.mode(),
+                        )
+                    };
+                    let rebuilt = versioned_registration_fingerprint(
+                        &rereg.dataset,
+                        &dataset,
+                        &domain,
+                        budget,
+                        mode,
+                        kind,
+                        rereg.version,
+                    );
+                    if rebuilt != rereg.fingerprint {
+                        return Err(EngineError::Durability(format!(
+                            "re-registration fingerprint mismatch for `{}` v{}: journal says {}, rebuilt {}",
+                            rereg.dataset, rereg.version, rereg.fingerprint, rebuilt
+                        )));
+                    }
+                    let entry = current
+                        .make_successor(dataset, domain, kind, inherited)
+                        .map_err(|e| EngineError::Durability(e.to_string()))?;
+                    if entry.version() != rereg.version {
+                        return Err(EngineError::Durability(format!(
+                            "version chain of `{}` replays to {} but the journal says {}",
+                            rereg.dataset,
+                            entry.version(),
+                            rereg.version
+                        )));
+                    }
+                    engine
+                        .registry
+                        .push_version(entry)
+                        .map_err(|e| EngineError::Durability(e.to_string()))?;
+                }
+                Step::Charge(charge) => {
+                    let entry = engine.registry.get(&charge.dataset).map_err(|_| {
+                        EngineError::Durability(format!(
+                            "journaled charge {} references unregistered dataset `{}`",
+                            charge.fingerprint, charge.dataset
+                        ))
+                    })?;
+                    entry
+                        .accountant()
+                        .restore_charge(&charge.label, charge.params);
+                }
+            }
+        }
+        // Build geometry backends for each chain's **latest** version only:
+        // that is the version unpinned queries execute against. Superseded
+        // versions mostly serve pinned replays out of the version-scoped
+        // cache; if a pinned query does miss, the old version's backend is
+        // built lazily on that first use instead of taxing every startup.
+        for name in engine.registry.names() {
+            let entry = engine.registry.get(&name)?;
             let build = Stopwatch::start();
             entry.backend(engine.config.threads.max(1));
             engine
                 .telemetry
                 .backend_build_seconds
                 .observe(build.elapsed_seconds());
-        }
-
-        for charge in report.state.charges() {
-            let entry = engine.registry.get(&charge.dataset).map_err(|_| {
-                EngineError::Durability(format!(
-                    "journaled charge {} references unregistered dataset `{}`",
-                    charge.fingerprint, charge.dataset
-                ))
-            })?;
-            entry
-                .accountant()
-                .restore_charge(&charge.label, charge.params);
         }
 
         {
@@ -314,6 +391,7 @@ impl Engine {
             recovered = report.recovered,
             torn_tail = report.torn_tail.is_some(),
             datasets = report.state.registers().len(),
+            reregistrations = report.state.reregisters().len(),
             charges = report.state.charges().len(),
             releases = report.state.releases().len(),
         );
@@ -349,7 +427,9 @@ impl Engine {
     /// budget and a composition theorem, selecting the geometry backend
     /// automatically: exact at or below
     /// [`EngineConfig::exact_backend_max_points`] points, projected above.
-    /// Names are write-once.
+    /// Names are write-once — new data for an existing name goes through
+    /// [`Engine::reregister_dataset`], which inherits the ledger instead of
+    /// declaring a budget.
     ///
     /// Registration also builds the dataset's shared geometry backend (the
     /// `8·n²`-byte exact index filled with the engine's worker threads, or
@@ -455,14 +535,131 @@ impl Engine {
         Ok(self.status_of(&entry))
     }
 
+    /// Re-registers an existing name with **new data** (and possibly a new
+    /// domain), creating version `v + 1` of its chain with an
+    /// automatically selected backend. The privacy ledger is *inherited*:
+    /// the chain keeps the one budget and composition mode declared at
+    /// original registration, every past charge still counts, and a budget
+    /// exhausted on the old version stays exhausted on the new one.
+    /// Re-registration buys fresh data — never fresh budget.
+    pub fn reregister_dataset(
+        &self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        domain: GridDomain,
+    ) -> Result<DatasetStatus, EngineError> {
+        self.reregister_dataset_with_backend(name, dataset, domain, BackendChoice::Auto)
+    }
+
+    /// [`Engine::reregister_dataset`] with an explicit backend choice (the
+    /// wire protocol's optional `"backend"` field on `reregister`).
+    pub fn reregister_dataset_with_backend(
+        &self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        domain: GridDomain,
+        choice: BackendChoice,
+    ) -> Result<DatasetStatus, EngineError> {
+        let kind = match choice {
+            BackendChoice::Exact => BackendKind::Exact,
+            BackendChoice::Projected => BackendKind::Projected,
+            BackendChoice::Auto => {
+                if dataset.len() <= self.config.exact_backend_max_points {
+                    BackendKind::Exact
+                } else {
+                    BackendKind::Projected
+                }
+            }
+        };
+        let name = name.into();
+        // Same serial lock as registration: lookup → journal → push is one
+        // step, so the journal's version order always matches the chain's.
+        let _serial = self
+            .registration_serial
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let current = self.registry.get(&name)?;
+        let entry = {
+            // The accountant lock is held across capture → journal: charges
+            // journal under this same lock, so the inherited spend recorded
+            // here is exactly the composed spend of the charges that
+            // precede the re-registration in the journal — which is what
+            // recovery will recompute at this record's replay point.
+            let accountant = current.accountant();
+            let inherited = accountant.composed_spend();
+            let budget = accountant.budget();
+            let mode = accountant.mode();
+            // Validation first: a re-registration that cannot build its
+            // successor entry must never reach the journal.
+            let entry = current.make_successor(dataset, domain, kind, inherited)?;
+            // ...then write-ahead: the new version is durable before it
+            // becomes visible, so a crash can never leave charges against a
+            // version the journal has never heard of.
+            if let Some(store) = &self.store {
+                store.append(StoreRecord::Reregister(ReregisterRecord {
+                    seq: 0, // assigned by the store
+                    dataset: name.clone(),
+                    version: entry.version(),
+                    domain: DomainSpec {
+                        dim: entry.domain().dim(),
+                        size: entry.domain().size(),
+                        min: entry.domain().min(),
+                        max: entry.domain().max(),
+                    },
+                    backend: kind.as_str().to_string(),
+                    fingerprint: versioned_registration_fingerprint(
+                        &name,
+                        entry.dataset(),
+                        entry.domain(),
+                        budget,
+                        mode,
+                        kind,
+                        entry.version(),
+                    ),
+                    rows: entry
+                        .dataset()
+                        .iter()
+                        .map(|p| p.coords().to_vec())
+                        .collect::<Vec<Vec<f64>>>(),
+                }))?;
+            }
+            self.registry.push_version(entry)?
+        };
+        let build = Stopwatch::start();
+        entry.backend(self.config.threads.max(1));
+        let build_seconds = build.elapsed_seconds();
+        self.telemetry.backend_build_seconds.observe(build_seconds);
+        self.telemetry.reregistrations_total.inc();
+        event!(
+            self.telemetry.events(),
+            Severity::Info,
+            "engine.reregister",
+            dataset = entry.name(),
+            version = entry.version(),
+            points = entry.dataset().len(),
+            dim = entry.dataset().dim(),
+            backend = kind.as_str(),
+            build_seconds = build_seconds,
+        );
+        Ok(self.status_of(&entry))
+    }
+
     /// The registered dataset names, sorted.
     pub fn dataset_names(&self) -> Vec<String> {
         self.registry.names()
     }
 
-    /// The public status of a registered dataset.
+    /// The public status of a registered dataset (its latest version).
     pub fn status(&self, name: &str) -> Result<DatasetStatus, EngineError> {
         let entry = self.registry.get(name)?;
+        Ok(self.status_of(&entry))
+    }
+
+    /// The public status of one exact version of a registered dataset. The
+    /// budget columns are identical across versions (the ledger is shared);
+    /// the data shape, backend, and inherited spend are per-version.
+    pub fn status_version(&self, name: &str, version: u64) -> Result<DatasetStatus, EngineError> {
+        let entry = self.registry.get_version(name, version)?;
         Ok(self.status_of(&entry))
     }
 
@@ -470,6 +667,7 @@ impl Engine {
         let accountant = entry.accountant();
         DatasetStatus {
             name: entry.name().to_string(),
+            version: entry.version(),
             points: entry.dataset().len(),
             dim: entry.dataset().dim(),
             budget: accountant.budget(),
@@ -478,6 +676,7 @@ impl Engine {
             granted: accountant.granted(),
             refused: accountant.refused(),
             spent: accountant.composed_spend(),
+            inherited_spend: entry.inherited_spend(),
             remaining_epsilon: accountant.remaining_epsilon(),
             remaining_delta: accountant.remaining_delta(),
         }
@@ -549,6 +748,9 @@ impl Engine {
             registry
                 .gauge_with("dataset_cache_misses", labels)
                 .set(entry.cache_miss_count() as f64);
+            registry
+                .gauge_with("dataset_version", labels)
+                .set(entry.version() as f64);
         }
         registry
             .gauge("pool_queue_depth")
@@ -586,8 +788,7 @@ impl Engine {
     /// queries), then plan + charge. Returns either a finished response
     /// (cache hit) or the admitted plan to execute.
     fn admit_inner(&self, request: &QueryRequest) -> Result<Admitted, EngineError> {
-        let entry = self.registry.get(&request.dataset)?;
-        let key = request.cache_key();
+        let (entry, key) = self.resolve(request)?;
         {
             let mut pending = lock_recover(&self.pending);
             loop {
@@ -664,6 +865,22 @@ impl Engine {
             charged: request.privacy,
             remaining_epsilon,
         })
+    }
+
+    /// Resolves a request to the dataset version it runs against and the
+    /// matching **version-scoped** cache/journal key: an explicit
+    /// `version` pin reaches exactly that version (refused before any
+    /// charge if it does not exist), an unpinned request reaches the
+    /// latest. Version-scoping the key is a privacy invariant, not a perf
+    /// detail — a result released against v1 data must never be replayed
+    /// as an answer about v2 data.
+    fn resolve(&self, request: &QueryRequest) -> Result<(Arc<DatasetEntry>, String), EngineError> {
+        let entry = match request.version {
+            Some(version) => self.registry.get_version(&request.dataset, version)?,
+            None => self.registry.get(&request.dataset)?,
+        };
+        let key = versioned_query_fingerprint(request, entry.version());
+        Ok((entry, key))
     }
 
     /// Removes a key from the in-flight set and wakes coalesced waiters.
@@ -784,7 +1001,15 @@ impl Engine {
         let mut first_by_key: HashMap<String, usize> = HashMap::new();
         let mut slots: Vec<BatchSlot> = Vec::with_capacity(requests.len());
         for (index, request) in requests.iter().enumerate() {
-            let key = request.cache_key();
+            // Dedupe on the *resolved* (version-scoped) key, so an unpinned
+            // copy and a copy pinned to the current latest coalesce, while
+            // a copy pinned to an older version does not. A request that
+            // fails to resolve keeps its raw key; admission will report the
+            // error itself.
+            let key = self
+                .resolve(request)
+                .map(|(_, key)| key)
+                .unwrap_or_else(|_| request.cache_key());
             if let Some(&first) = first_by_key.get(&key) {
                 slots.push(BatchSlot::DuplicateOf(first));
                 continue;
@@ -860,6 +1085,31 @@ impl Engine {
     }
 }
 
+/// Resolves a journaled backend name during replay.
+fn replayed_backend_kind(name: &str, backend: &str) -> Result<BackendKind, EngineError> {
+    match backend {
+        "exact" => Ok(BackendKind::Exact),
+        "projected" => Ok(BackendKind::Projected),
+        other => Err(EngineError::Durability(format!(
+            "journaled registration of `{name}` names unknown backend `{other}`"
+        ))),
+    }
+}
+
+/// Rebuilds and validates a journaled domain during replay.
+fn replayed_domain(name: &str, spec: &DomainSpec) -> Result<GridDomain, EngineError> {
+    GridDomain::new(spec.dim, spec.size, spec.min, spec.max).map_err(|e| {
+        EngineError::Durability(format!("journaled domain of `{name}` does not validate: {e}"))
+    })
+}
+
+/// Rebuilds and validates journaled rows during replay.
+fn replayed_rows(name: &str, rows: &[Vec<f64>]) -> Result<Dataset, EngineError> {
+    Dataset::from_rows(rows.to_vec()).map_err(|e| {
+        EngineError::Durability(format!("journaled rows of `{name}` do not validate: {e}"))
+    })
+}
+
 /// The outcome of admission: already served (cache) or ready to run.
 enum Admitted {
     Done(QueryResponse),
@@ -905,6 +1155,7 @@ mod tests {
     fn radius_request(seed: u64) -> QueryRequest {
         QueryRequest {
             dataset: "demo".into(),
+            version: None,
             seed,
             privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
             query: Query::GoodRadius { t: 200, beta: 0.1 },

@@ -10,6 +10,13 @@ use std::fmt;
 pub enum EngineError {
     /// A query named a dataset that was never registered.
     UnknownDataset(String),
+    /// A query pinned a dataset version that does not exist (yet).
+    UnknownVersion {
+        /// The dataset the pin addressed.
+        dataset: String,
+        /// The pinned version.
+        version: u64,
+    },
     /// A registration reused an existing dataset name (datasets are
     /// immutable; re-registration would silently reset the budget).
     DatasetExists(String),
@@ -45,6 +52,7 @@ impl EngineError {
     pub fn kind(&self) -> &'static str {
         match self {
             EngineError::UnknownDataset(_) => "unknown_dataset",
+            EngineError::UnknownVersion { .. } => "unknown_version",
             EngineError::DatasetExists(_) => "dataset_exists",
             EngineError::BudgetExhausted { .. } => "budget_exhausted",
             EngineError::InvalidQuery(_) => "invalid_query",
@@ -59,6 +67,9 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            EngineError::UnknownVersion { dataset, version } => {
+                write!(f, "dataset `{dataset}` has no version {version}")
+            }
             EngineError::DatasetExists(name) => {
                 write!(f, "dataset `{name}` is already registered")
             }
@@ -125,6 +136,12 @@ mod tests {
             EngineError::DatasetExists("x".into()).kind(),
             "dataset_exists"
         );
+        let v = EngineError::UnknownVersion {
+            dataset: "x".into(),
+            version: 3,
+        };
+        assert_eq!(v.kind(), "unknown_version");
+        assert!(v.to_string().contains("no version 3"));
         assert_eq!(
             EngineError::InvalidQuery("m".into()).kind(),
             "invalid_query"

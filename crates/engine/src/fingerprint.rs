@@ -18,19 +18,37 @@ use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
 use privcluster_geometry::{BackendKind, Dataset, GridDomain};
 
-/// The canonical fingerprint of a query request: datasets are immutable
-/// and queries are seeded, so `(dataset, seed, ε-bits, δ-bits, query)`
-/// fully determines the released result.
+/// The canonical fingerprint of a query request against dataset version 1
+/// (or, equivalently, the request's pinned version when one is set):
+/// dataset versions are immutable and queries are seeded, so
+/// `(dataset, version, seed, ε-bits, δ-bits, query)` fully determines the
+/// released result.
 pub fn query_fingerprint(request: &QueryRequest) -> String {
+    versioned_query_fingerprint(request, request.version.unwrap_or(1))
+}
+
+/// [`query_fingerprint`] scoped to an explicit dataset version — the form
+/// the engine uses after resolving an unpinned request to the latest
+/// version. Version 1 keeps the pre-versioning byte layout (`q|…|{json}`),
+/// so journals written before versioning existed keep their replay caches;
+/// higher versions append `|v{version}` after the query JSON, which cannot
+/// collide with a legacy key (those always end in `}`). A v1 replay can
+/// therefore never be released against v2 data — the keys differ.
+pub fn versioned_query_fingerprint(request: &QueryRequest, version: u64) -> String {
     let query_json =
         serde_json::to_string(&request.query).expect("query serialization is infallible");
-    format!(
+    let base = format!(
         "q|{}|{:x}|{:016x}|{:016x}|{query_json}",
         request.dataset,
         request.seed,
         request.privacy.epsilon().to_bits(),
         request.privacy.delta().to_bits(),
-    )
+    );
+    if version <= 1 {
+        base
+    } else {
+        format!("{base}|v{version}")
+    }
 }
 
 /// The canonical fingerprint of a dataset registration: name, declared
@@ -68,6 +86,28 @@ pub fn registration_fingerprint(
     )
 }
 
+/// [`registration_fingerprint`] scoped to a dataset version. Version 1 is
+/// byte-identical to the legacy layout (so existing `Register` journal
+/// records verify unchanged); re-registrations (version ≥ 2) append
+/// `|v{version}`. The budget and mode are the *inherited* ones — a
+/// re-registration cannot change either, and baking them in pins that.
+pub fn versioned_registration_fingerprint(
+    name: &str,
+    dataset: &Dataset,
+    domain: &GridDomain,
+    budget: PrivacyParams,
+    mode: CompositionMode,
+    backend: BackendKind,
+    version: u64,
+) -> String {
+    let base = registration_fingerprint(name, dataset, domain, budget, mode, backend);
+    if version <= 1 {
+        base
+    } else {
+        format!("{base}|v{version}")
+    }
+}
+
 /// FNV-1a (64-bit) over the row-major coordinate bit patterns.
 fn dataset_content_hash(dataset: &Dataset) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -97,6 +137,7 @@ mod tests {
     fn query_fingerprints_separate_every_component() {
         let base = QueryRequest {
             dataset: "demo".into(),
+            version: None,
             seed: 7,
             privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
             query: Query::GoodRadius { t: 10, beta: 0.1 },
@@ -118,6 +159,66 @@ mod tests {
             }
         }
         assert_eq!(query_fingerprint(&base), base.cache_key());
+    }
+
+    #[test]
+    fn version_scoping_keeps_v1_keys_and_separates_higher_versions() {
+        let base = QueryRequest {
+            dataset: "demo".into(),
+            version: None,
+            seed: 7,
+            privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
+            query: Query::GoodRadius { t: 10, beta: 0.1 },
+        };
+        // Version 1 is byte-identical to the pre-versioning key: journals
+        // written before versioning keep their replay caches.
+        assert_eq!(
+            versioned_query_fingerprint(&base, 1),
+            query_fingerprint(&base)
+        );
+        let v2 = versioned_query_fingerprint(&base, 2);
+        assert_ne!(v2, query_fingerprint(&base));
+        assert!(v2.ends_with("|v2"));
+        assert_ne!(v2, versioned_query_fingerprint(&base, 3));
+        // A pinned request keys at its pin.
+        let mut pinned = base.clone();
+        pinned.version = Some(2);
+        assert_eq!(pinned.cache_key(), v2);
+        // Registration fingerprints scope the same way.
+        let d = dataset(vec![vec![0.25, 0.75], vec![0.5, 0.5]]);
+        let domain = GridDomain::unit_cube(2, 1 << 8).unwrap();
+        let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let r1 = versioned_registration_fingerprint(
+            "d",
+            &d,
+            &domain,
+            budget,
+            CompositionMode::Basic,
+            BackendKind::Exact,
+            1,
+        );
+        assert_eq!(
+            r1,
+            registration_fingerprint(
+                "d",
+                &d,
+                &domain,
+                budget,
+                CompositionMode::Basic,
+                BackendKind::Exact
+            )
+        );
+        let r2 = versioned_registration_fingerprint(
+            "d",
+            &d,
+            &domain,
+            budget,
+            CompositionMode::Basic,
+            BackendKind::Exact,
+            2,
+        );
+        assert!(r2.ends_with("|v2"));
+        assert_ne!(r1, r2);
     }
 
     #[test]

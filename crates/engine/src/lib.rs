@@ -64,6 +64,7 @@
 //! let response = engine
 //!     .query(&QueryRequest {
 //!         dataset: "demo".into(),
+//!         version: None,
 //!         seed: 7,
 //!         privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
 //!         query: Query::GoodRadius { t: 50, beta: 0.1 },
@@ -73,6 +74,7 @@
 //! // The same request again is served from the cache and charges nothing.
 //! assert!(engine.query(&QueryRequest {
 //!     dataset: "demo".into(),
+//!     version: None,
 //!     seed: 7,
 //!     privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
 //!     query: Query::GoodRadius { t: 50, beta: 0.1 },
@@ -103,7 +105,10 @@ pub use accountant::BudgetAccountant;
 pub use cache::ResultCache;
 pub use engine::{DatasetStatus, DurabilityStatus, Engine, EngineConfig, QueryResponse};
 pub use error::EngineError;
-pub use fingerprint::{query_fingerprint, registration_fingerprint};
+pub use fingerprint::{
+    query_fingerprint, registration_fingerprint, versioned_query_fingerprint,
+    versioned_registration_fingerprint,
+};
 pub use planner::{plan, Plan};
 pub use protocol::{serve_lines, serve_tcp, Request, MAX_REQUEST_LINE_BYTES};
 pub use query::{BaselineMethod, Query, QueryRequest, QueryValue, WireBall};

@@ -16,14 +16,31 @@
 //!  "backend":"projected",
 //!  "synthetic":{"kind":"planted_ball","n":2000,"cluster_size":1000,
 //!               "cluster_radius":0.02,"seed":7}}
+//! {"op":"reregister","dataset":"demo","domain":{"dim":2,"size":1024},
+//!  "points":[[0.2,0.3],[0.4,0.5]]}
 //! {"op":"query","dataset":"demo","seed":1,"epsilon":0.25,"delta":1e-8,
 //!  "query":{"type":"one_cluster","t":1000,"beta":0.1}}
+//! {"op":"query","dataset":"demo","version":1,"seed":1,"epsilon":0.25,
+//!  "delta":1e-8,"query":{"type":"one_cluster","t":1000,"beta":0.1}}
 //! {"op":"batch","requests":[ ...query request objects... ]}
 //! {"op":"status","dataset":"demo"}
+//! {"op":"status","dataset":"demo","version":1}
 //! {"op":"list"}
 //! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `reregister` replaces an existing dataset's data (and optionally its
+//! domain and backend), creating the next **version** of its name. The
+//! privacy budget is *inherited*, never redeclared: a `reregister` carrying
+//! `budget` or `composition` is refused outright, every past charge still
+//! counts against the one budget declared at original registration, and a
+//! budget exhausted on v1 stays exhausted on v2. Queries and `status` take
+//! an optional `"version"` pin (defaulting to the latest); released results
+//! are cached under version-scoped keys, so a result computed against v1
+//! is never replayed as an answer about v2. Status responses carry
+//! `"version"` (the described version) and `"inherited_spend"` (the
+//! chain's composed spend when that version was created, `null` for v1).
 //!
 //! `metrics` (also accepted as `{"cmd":"metrics"}`, the scrape-tool
 //! spelling) returns the engine's telemetry snapshot — counters, gauges,
@@ -55,7 +72,7 @@ use crate::engine::{DatasetStatus, Engine, QueryResponse};
 use crate::error::EngineError;
 use crate::query::QueryRequest;
 use crate::registry::BackendChoice;
-use crate::wire::{get, num, obj, req, req_f64, req_str, req_u64, req_usize, s};
+use crate::wire::{get, num, obj, opt_u64, req, req_f64, req_str, req_u64, req_usize, s};
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
 use privcluster_geometry::{Dataset, GridDomain};
@@ -70,6 +87,9 @@ use std::net::TcpListener;
 pub enum Request {
     /// Register a dataset (inline points or a synthetic spec).
     Register(RegisterRequest),
+    /// Re-register an existing dataset with new data, creating its next
+    /// version under the inherited privacy budget.
+    Reregister(ReregisterRequest),
     /// Run one query.
     Query(QueryRequest),
     /// Run a batch of queries on the worker pool.
@@ -78,6 +98,8 @@ pub enum Request {
     Status {
         /// The dataset to describe.
         dataset: String,
+        /// An exact version to describe (`None` = latest).
+        version: Option<u64>,
     },
     /// List registered dataset names.
     List,
@@ -102,6 +124,23 @@ pub struct RegisterRequest {
     /// `"projected"`, defaulting to automatic size-based selection).
     pub backend: BackendChoice,
     /// Where the points come from.
+    pub source: DataSource,
+}
+
+/// The payload of a `reregister` request. Deliberately has **no** budget
+/// or composition field: both are inherited from the original
+/// registration, and the parser refuses a request that tries to supply
+/// them (silently ignoring a budget on re-registration would let a client
+/// believe it had reset the ledger).
+#[derive(Debug, Clone)]
+pub struct ReregisterRequest {
+    /// Dataset name (must already be registered).
+    pub dataset: String,
+    /// The new version's grid domain.
+    pub domain: GridDomain,
+    /// Geometry backend selection for the new version.
+    pub backend: BackendChoice,
+    /// Where the new version's points come from.
     pub source: DataSource,
 }
 
@@ -154,6 +193,7 @@ impl Request {
         let op = req_str(&value, "op").or_else(|e| req_str(&value, "cmd").map_err(|_| e))?;
         match op.as_str() {
             "register" => Ok(Request::Register(parse_register(&value)?)),
+            "reregister" => Ok(Request::Reregister(parse_reregister(&value)?)),
             "query" => Ok(Request::Query(QueryRequest::parse(&value)?)),
             "batch" => {
                 let requests = req(&value, "requests")?
@@ -168,6 +208,7 @@ impl Request {
             }
             "status" => Ok(Request::Status {
                 dataset: req_str(&value, "dataset")?,
+                version: opt_u64(&value, "version")?,
             }),
             "list" => Ok(Request::List),
             "metrics" => Ok(Request::Metrics),
@@ -177,15 +218,57 @@ impl Request {
     }
 }
 
-fn parse_register(value: &Value) -> Result<RegisterRequest, EngineError> {
+fn parse_domain(value: &Value) -> Result<GridDomain, EngineError> {
     let domain_spec = req(value, "domain")?;
     let dim = req_usize(domain_spec, "dim")?;
     let size = req_u64(domain_spec, "size")?;
     let min = crate::wire::opt_f64(domain_spec, "min")?.unwrap_or(0.0);
     let max = crate::wire::opt_f64(domain_spec, "max")?.unwrap_or(1.0);
-    let domain =
-        GridDomain::new(dim, size, min, max).map_err(|e| EngineError::Protocol(e.to_string()))?;
+    GridDomain::new(dim, size, min, max).map_err(|e| EngineError::Protocol(e.to_string()))
+}
 
+fn parse_backend(value: &Value) -> Result<BackendChoice, EngineError> {
+    match get(value, "backend") {
+        None | Some(Value::Null) => Ok(BackendChoice::Auto),
+        Some(Value::String(name)) => BackendChoice::parse(name),
+        Some(other) => Err(EngineError::Protocol(format!(
+            "field `backend` must be a string, got {other:?}"
+        ))),
+    }
+}
+
+fn parse_source(value: &Value) -> Result<DataSource, EngineError> {
+    match (get(value, "points"), get(value, "synthetic")) {
+        (Some(points), None) => {
+            let rows = points
+                .as_array()
+                .ok_or_else(|| EngineError::Protocol("field `points` must be an array".into()))?
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or_else(|| {
+                            EngineError::Protocol("each point must be an array of numbers".into())
+                        })?
+                        .iter()
+                        .map(|c| {
+                            c.as_f64().ok_or_else(|| {
+                                EngineError::Protocol("point coordinates must be numbers".into())
+                            })
+                        })
+                        .collect::<Result<Vec<f64>, _>>()
+                })
+                .collect::<Result<Vec<Vec<f64>>, _>>()?;
+            Ok(DataSource::Points(rows))
+        }
+        (None, Some(spec)) => Ok(DataSource::Synthetic(parse_synthetic(spec)?)),
+        _ => Err(EngineError::Protocol(
+            "register needs exactly one of `points` or `synthetic`".into(),
+        )),
+    }
+}
+
+fn parse_register(value: &Value) -> Result<RegisterRequest, EngineError> {
+    let domain = parse_domain(value)?;
     let budget_spec = req(value, "budget")?;
     let budget = PrivacyParams::new(
         req_f64(budget_spec, "epsilon")?,
@@ -209,53 +292,34 @@ fn parse_register(value: &Value) -> Result<RegisterRequest, EngineError> {
         }
     };
 
-    let backend = match get(value, "backend") {
-        None | Some(Value::Null) => BackendChoice::Auto,
-        Some(Value::String(name)) => BackendChoice::parse(name)?,
-        Some(other) => {
-            return Err(EngineError::Protocol(format!(
-                "field `backend` must be a string, got {other:?}"
-            )))
-        }
-    };
-
-    let source = match (get(value, "points"), get(value, "synthetic")) {
-        (Some(points), None) => {
-            let rows = points
-                .as_array()
-                .ok_or_else(|| EngineError::Protocol("field `points` must be an array".into()))?
-                .iter()
-                .map(|row| {
-                    row.as_array()
-                        .ok_or_else(|| {
-                            EngineError::Protocol("each point must be an array of numbers".into())
-                        })?
-                        .iter()
-                        .map(|c| {
-                            c.as_f64().ok_or_else(|| {
-                                EngineError::Protocol("point coordinates must be numbers".into())
-                            })
-                        })
-                        .collect::<Result<Vec<f64>, _>>()
-                })
-                .collect::<Result<Vec<Vec<f64>>, _>>()?;
-            DataSource::Points(rows)
-        }
-        (None, Some(spec)) => DataSource::Synthetic(parse_synthetic(spec)?),
-        _ => {
-            return Err(EngineError::Protocol(
-                "register needs exactly one of `points` or `synthetic`".into(),
-            ))
-        }
-    };
-
     Ok(RegisterRequest {
         dataset: req_str(value, "dataset")?,
         domain,
         budget,
         mode,
-        backend,
-        source,
+        backend: parse_backend(value)?,
+        source: parse_source(value)?,
+    })
+}
+
+fn parse_reregister(value: &Value) -> Result<ReregisterRequest, EngineError> {
+    // A re-registration inherits its chain's budget and composition mode.
+    // Refuse — rather than ignore — an attempt to redeclare either: a
+    // client that sends a budget here believes it is resetting the ledger,
+    // and that belief must fail loudly.
+    for forbidden in ["budget", "composition"] {
+        if get(value, forbidden).is_some() {
+            return Err(EngineError::Protocol(format!(
+                "reregister does not take `{forbidden}`: the privacy budget and composition \
+                 mode are inherited from the original registration"
+            )));
+        }
+    }
+    Ok(ReregisterRequest {
+        dataset: req_str(value, "dataset")?,
+        domain: parse_domain(value)?,
+        backend: parse_backend(value)?,
+        source: parse_source(value)?,
     })
 }
 
@@ -362,6 +426,7 @@ fn composition_json(mode: CompositionMode) -> Value {
 fn status_json(status: &DatasetStatus) -> Value {
     obj(vec![
         ("dataset", s(status.name.clone())),
+        ("version", num(status.version as f64)),
         ("points", num(status.points as f64)),
         ("dim", num(status.dim as f64)),
         ("budget", privacy_json(status.budget)),
@@ -372,6 +437,13 @@ fn status_json(status: &DatasetStatus) -> Value {
         (
             "spent",
             status.spent.map(privacy_json).unwrap_or(Value::Null),
+        ),
+        (
+            "inherited_spend",
+            status
+                .inherited_spend
+                .map(privacy_json)
+                .unwrap_or(Value::Null),
         ),
         ("remaining_epsilon", num(status.remaining_epsilon)),
         ("remaining_delta", num(status.remaining_delta)),
@@ -440,6 +512,24 @@ pub fn handle(engine: &Engine, request: &Request) -> Value {
                 Err(e) => error_json(&e),
             }
         }
+        Request::Reregister(rereg) => {
+            let result = materialize(&rereg.source, &rereg.domain).and_then(|data| {
+                engine.reregister_dataset_with_backend(
+                    &rereg.dataset,
+                    data,
+                    rereg.domain.clone(),
+                    rereg.backend,
+                )
+            });
+            match result {
+                Ok(status) => obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", s("reregister")),
+                    ("status", status_json(&status)),
+                ]),
+                Err(e) => error_json(&e),
+            }
+        }
         Request::Query(req) => match engine.query(req) {
             Ok(response) => query_response_json(&req.dataset, &response),
             Err(e) => error_json(&e),
@@ -460,7 +550,10 @@ pub fn handle(engine: &Engine, request: &Request) -> Value {
                 ("responses", Value::Array(items)),
             ])
         }
-        Request::Status { dataset } => match engine.status(dataset) {
+        Request::Status { dataset, version } => match match version {
+            Some(version) => engine.status_version(dataset, *version),
+            None => engine.status(dataset),
+        } {
             Ok(status) => obj(vec![
                 ("ok", Value::Bool(true)),
                 ("op", s("status")),
@@ -743,6 +836,83 @@ mod tests {
             r#""composition":"basic","backend":"mystery""#,
         );
         assert!(Request::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn reregister_inherits_the_ledger_and_scopes_the_cache() {
+        let engine = engine();
+        handle(&engine, &Request::parse(REGISTER).unwrap());
+        let query = Request::parse(
+            r#"{"op":"query","dataset":"demo","seed":1,"epsilon":1.0,"delta":1e-6,"query":{"type":"good_radius","t":200,"beta":0.1}}"#,
+        )
+        .unwrap();
+        let first = handle(&engine, &query);
+        assert_eq!(get(&first, "cached"), Some(&Value::Bool(false)));
+
+        // New data under the same name: version 2, ledger carried over.
+        let rereg = Request::parse(
+            r#"{"op":"reregister","dataset":"demo","domain":{"dim":2,"size":1024},"synthetic":{"kind":"planted_ball","n":300,"cluster_size":150,"cluster_radius":0.03,"seed":8}}"#,
+        )
+        .unwrap();
+        let response = handle(&engine, &rereg);
+        assert_eq!(get(&response, "ok"), Some(&Value::Bool(true)), "{response:?}");
+        let status = get(&response, "status").unwrap();
+        assert_eq!(get(status, "version").unwrap().as_f64(), Some(2.0));
+        assert_eq!(get(status, "points").unwrap().as_f64(), Some(300.0));
+        assert_eq!(get(status, "granted").unwrap().as_f64(), Some(1.0));
+        assert_ne!(
+            get(status, "inherited_spend"),
+            Some(&Value::Null),
+            "v2 inherits the spend of the pre-reregistration query"
+        );
+
+        // The unpinned repeat now targets v2: the v1-cached result must NOT
+        // be replayed (it answers a question about different data).
+        let repeat = handle(&engine, &query);
+        assert_eq!(get(&repeat, "cached"), Some(&Value::Bool(false)));
+        assert_ne!(get(&repeat, "result"), get(&first, "result"));
+        // Pinned to v1, the same query is a pure cache replay: free.
+        let pinned = Request::parse(
+            r#"{"op":"query","dataset":"demo","version":1,"seed":1,"epsilon":1.0,"delta":1e-6,"query":{"type":"good_radius","t":200,"beta":0.1}}"#,
+        )
+        .unwrap();
+        let replay = handle(&engine, &pinned);
+        assert_eq!(get(&replay, "cached"), Some(&Value::Bool(true)));
+        assert_eq!(get(&replay, "result"), get(&first, "result"));
+
+        // Status pins reach old versions; out-of-range pins are refused.
+        let v1_status = handle(
+            &engine,
+            &Request::parse(r#"{"op":"status","dataset":"demo","version":1}"#).unwrap(),
+        );
+        let v1_status = get(&v1_status, "status").unwrap();
+        assert_eq!(get(v1_status, "version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(get(v1_status, "points").unwrap().as_f64(), Some(400.0));
+        assert_eq!(get(v1_status, "inherited_spend"), Some(&Value::Null));
+        let missing = handle(
+            &engine,
+            &Request::parse(r#"{"op":"status","dataset":"demo","version":9}"#).unwrap(),
+        );
+        assert!(serde_json::to_string(&missing)
+            .unwrap()
+            .contains("unknown_version"));
+
+        // A reregister that tries to redeclare the budget is refused at
+        // parse time — inheriting silently would fake a ledger reset.
+        let sneaky = r#"{"op":"reregister","dataset":"demo","domain":{"dim":2,"size":1024},"budget":{"epsilon":99.0,"delta":0.1},"points":[[0.5,0.5]]}"#;
+        let err = Request::parse(sneaky).unwrap_err();
+        assert!(err.to_string().contains("inherited"), "{err}");
+        let sneaky_mode = r#"{"op":"reregister","dataset":"demo","domain":{"dim":2,"size":1024},"composition":"basic","points":[[0.5,0.5]]}"#;
+        assert!(Request::parse(sneaky_mode).is_err());
+        // Re-registering a name that was never registered is refused.
+        let unknown = Request::parse(
+            r#"{"op":"reregister","dataset":"ghost","domain":{"dim":2,"size":1024},"points":[[0.5,0.5]]}"#,
+        )
+        .unwrap();
+        let response = handle(&engine, &unknown);
+        assert!(serde_json::to_string(&response)
+            .unwrap()
+            .contains("unknown_dataset"));
     }
 
     #[test]

@@ -222,8 +222,14 @@ impl Query {
 pub struct QueryRequest {
     /// The registered dataset to run against.
     pub dataset: String,
+    /// Which dataset version to run against: `None` (the default) resolves
+    /// to the latest version at admission; `Some(v)` pins an exact version
+    /// (useful to replay a result cached before a re-registration). A pin
+    /// that names a nonexistent version is refused before any charge.
+    pub version: Option<u64>,
     /// Seed of the query's private RNG stream. Identical requests (same
-    /// dataset, seed, budget, and query) are served from the result cache.
+    /// dataset, version, seed, budget, and query) are served from the
+    /// result cache.
     pub seed: u64,
     /// The `(ε, δ)` this query bids against the dataset's budget.
     pub privacy: PrivacyParams,
@@ -233,11 +239,15 @@ pub struct QueryRequest {
 
 impl QueryRequest {
     /// The deterministic cache key — the request's canonical
-    /// [`query_fingerprint`], which is also the key its budget charge is
-    /// journaled under (one construction for both, so the replay cache
-    /// rebuilt from the journal can never disagree with the live one).
+    /// [`query_fingerprint`] at its pinned version (or version 1 when
+    /// unpinned), which is also the key its budget charge is journaled
+    /// under (one construction for both, so the replay cache rebuilt from
+    /// the journal can never disagree with the live one). The engine
+    /// resolves unpinned requests to the latest version and keys with
+    /// [`versioned_query_fingerprint`] instead.
     ///
     /// [`query_fingerprint`]: crate::fingerprint::query_fingerprint
+    /// [`versioned_query_fingerprint`]: crate::fingerprint::versioned_query_fingerprint
     pub fn cache_key(&self) -> String {
         crate::fingerprint::query_fingerprint(self)
     }
@@ -248,8 +258,15 @@ impl QueryRequest {
         let delta = req_f64(value, "delta")?;
         let privacy = PrivacyParams::new(epsilon, delta)
             .map_err(|e| EngineError::InvalidQuery(e.to_string()))?;
+        let version = crate::wire::opt_u64(value, "version")?;
+        if version == Some(0) {
+            return Err(EngineError::InvalidQuery(
+                "field `version` must be >= 1 (versions start at 1)".into(),
+            ));
+        }
         Ok(QueryRequest {
             dataset: req_str(value, "dataset")?,
+            version,
             seed: req_u64(value, "seed")?,
             privacy,
             query: Query::parse(crate::wire::req(value, "query")?)?,
@@ -259,13 +276,17 @@ impl QueryRequest {
 
 impl Serialize for QueryRequest {
     fn to_json_value(&self) -> Value {
-        obj(vec![
-            ("dataset", s(self.dataset.clone())),
+        let mut entries = vec![("dataset", s(self.dataset.clone()))];
+        if let Some(version) = self.version {
+            entries.push(("version", num(version as f64)));
+        }
+        entries.extend(vec![
             ("seed", num(self.seed as f64)),
             ("epsilon", num(self.privacy.epsilon())),
             ("delta", num(self.privacy.delta())),
             ("query", self.query.to_json_value()),
-        ])
+        ]);
+        obj(entries)
     }
 }
 
@@ -463,6 +484,7 @@ mod tests {
     fn request(query: Query) -> QueryRequest {
         QueryRequest {
             dataset: "demo".into(),
+            version: None,
             seed: 7,
             privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
             query,

@@ -42,6 +42,9 @@ pub struct Telemetry {
     pub(crate) query_errors_total: Arc<Counter>,
     /// Fresh dataset registrations (recovery replays are not re-counted).
     pub(crate) registrations_total: Arc<Counter>,
+    /// Fresh re-registrations — new dataset versions under an inherited
+    /// budget (recovery replays are not re-counted).
+    pub(crate) reregistrations_total: Arc<Counter>,
 }
 
 impl Default for Telemetry {
@@ -67,6 +70,7 @@ impl Telemetry {
             refusals_total: registry.counter("refusals_total"),
             query_errors_total: registry.counter("query_errors_total"),
             registrations_total: registry.counter("registrations_total"),
+            reregistrations_total: registry.counter("reregistrations_total"),
             registry,
             events: Arc::new(EventStream::default()),
         }
@@ -96,7 +100,7 @@ mod tests {
         assert_eq!(snapshot.counter("queries_total"), Some(1));
         assert_eq!(snapshot.histogram("admission_seconds").unwrap().count, 1);
         // Every handle is backed by the same registry the snapshot reads.
-        assert_eq!(snapshot.counters.len(), 7);
+        assert_eq!(snapshot.counters.len(), 8);
         assert_eq!(snapshot.histograms.len(), 4);
     }
 }

@@ -79,6 +79,15 @@ pub(crate) fn req_usize(value: &Value, key: &str) -> Result<usize, EngineError> 
     Ok(req_u64(value, key)? as usize)
 }
 
+/// An optional non-negative integer field (same exactness rule as
+/// [`req_u64`]).
+pub(crate) fn opt_u64(value: &Value, key: &str) -> Result<Option<u64>, EngineError> {
+    match get(value, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(_) => req_u64(value, key).map(Some),
+    }
+}
+
 /// An optional number field.
 pub(crate) fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, EngineError> {
     match get(value, key) {
@@ -128,6 +137,10 @@ mod tests {
         assert!(!opt_bool(&v, "missing").unwrap());
         assert_eq!(opt_f64(&v, "nothing").unwrap(), None);
         assert_eq!(opt_f64(&v, "x").unwrap(), Some(0.5));
+        assert_eq!(opt_u64(&v, "n").unwrap(), Some(3));
+        assert_eq!(opt_u64(&v, "missing").unwrap(), None);
+        assert_eq!(opt_u64(&v, "nothing").unwrap(), None);
+        assert!(opt_u64(&v, "x").is_err());
         assert!(req(&v, "absent").is_err());
         assert!(req_str(&v, "n").is_err());
         assert!(req_u64(&v, "x").is_err());

@@ -121,6 +121,7 @@ proptest! {
             .unwrap();
         let request = QueryRequest {
             dataset: "tiny".into(),
+            version: None,
             seed,
             privacy: PrivacyParams::new(eps, 1e-8).unwrap(),
             query: Query::GoodRadius { t: 30, beta: 0.1 },

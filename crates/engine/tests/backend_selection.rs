@@ -75,12 +75,14 @@ fn projected_backend_results_are_bit_identical_across_thread_counts() {
     let requests: Vec<QueryRequest> = vec![
         QueryRequest {
             dataset: "d".into(),
+            version: None,
             seed: 11,
             privacy: PrivacyParams::new(2.0, 1e-6).unwrap(),
             query: Query::GoodRadius { t: 150, beta: 0.1 },
         },
         QueryRequest {
             dataset: "d".into(),
+            version: None,
             seed: 12,
             privacy: PrivacyParams::new(2.0, 1e-6).unwrap(),
             query: Query::OneCluster {
@@ -91,6 +93,7 @@ fn projected_backend_results_are_bit_identical_across_thread_counts() {
         },
         QueryRequest {
             dataset: "d".into(),
+            version: None,
             seed: 13,
             privacy: PrivacyParams::new(2.0, 1e-6).unwrap(),
             query: Query::KCluster {

@@ -44,6 +44,7 @@ fn engine_with_budget(mode: CompositionMode) -> Engine {
 fn request(seed: u64) -> QueryRequest {
     QueryRequest {
         dataset: "guarded".into(),
+        version: None,
         seed,
         privacy: PrivacyParams::new(0.3, 1e-8).unwrap(),
         query: Query::GoodRadius { t: 250, beta: 0.1 },
@@ -117,6 +118,7 @@ fn advanced_composition_admits_more_small_queries() {
     let engine = engine_with_budget(mode);
     let small = |seed: u64| QueryRequest {
         dataset: "guarded".into(),
+        version: None,
         seed,
         privacy: PrivacyParams::new(0.02, 1e-10).unwrap(),
         query: Query::GoodRadius { t: 250, beta: 0.1 },
@@ -155,6 +157,7 @@ fn refusals_leave_no_trace_in_the_spend() {
     // A query bidding more than the whole budget is refused outright.
     let oversized = QueryRequest {
         dataset: "guarded".into(),
+        version: None,
         seed: 0,
         privacy: PrivacyParams::new(2.0, 1e-8).unwrap(),
         query: Query::GoodRadius { t: 250, beta: 0.1 },
@@ -172,6 +175,7 @@ fn refusals_leave_no_trace_in_the_spend() {
     // The full budget is still available to an exact-fit query.
     let exact = QueryRequest {
         dataset: "guarded".into(),
+        version: None,
         seed: 0,
         privacy: PrivacyParams::new(1.0, 1e-6).unwrap(),
         query: Query::GoodRadius { t: 250, beta: 0.1 },

@@ -39,6 +39,7 @@ fn workload() -> Vec<QueryRequest> {
     for seed in 0..6 {
         requests.push(QueryRequest {
             dataset: "shared".into(),
+            version: None,
             seed,
             privacy,
             query: Query::GoodRadius { t: 300, beta: 0.1 },
@@ -50,6 +51,7 @@ fn workload() -> Vec<QueryRequest> {
     for seed in 0..3 {
         requests.push(QueryRequest {
             dataset: "shared".into(),
+            version: None,
             seed,
             privacy: pipeline_privacy,
             query: Query::OneCluster {
@@ -61,6 +63,7 @@ fn workload() -> Vec<QueryRequest> {
     }
     requests.push(QueryRequest {
         dataset: "shared".into(),
+        version: None,
         seed: 9,
         privacy,
         query: Query::KCluster {

@@ -68,6 +68,7 @@ fn register(engine: &Engine, budget_epsilon: f64) {
 fn request(seed: u64) -> QueryRequest {
     QueryRequest {
         dataset: "demo".into(),
+        version: None,
         seed,
         privacy: PrivacyParams::new(0.5, 1e-7).unwrap(),
         query: Query::GoodRadius { t: 20, beta: 0.1 },
@@ -145,6 +146,107 @@ fn exhausted_budgets_survive_restarts_and_replays_stay_free() {
         engine.status("demo").unwrap().granted,
         status_before.granted
     );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reregistration_recovers_version_scoped_caches_and_inherited_spend() {
+    let dir = scratch_dir("reregister");
+    let new_rows: Vec<Vec<f64>> = (0..80)
+        .map(|i| {
+            let base = if i % 2 == 0 { 0.35 } else { 0.6 };
+            vec![base + 0.002 * (i % 5) as f64, base + 0.001 * (i % 9) as f64]
+        })
+        .collect();
+
+    // Phase 1: spend half the budget on v1, re-register, spend the rest on
+    // v2 — the same request keys differently against each version.
+    let (v1_value, v2_value, status_before) = {
+        let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+        register(&engine, 1.0);
+        let v1 = engine.query(&request(1)).unwrap();
+        let status = engine
+            .reregister_dataset(
+                "demo",
+                Dataset::from_rows(new_rows.clone()).unwrap(),
+                GridDomain::unit_cube(2, 1 << 10).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(status.version, 2);
+        assert_eq!(status.points, 80);
+        let inherited = status.inherited_spend.expect("v1 spend is inherited");
+        assert!((inherited.epsilon() - 0.5).abs() < 1e-12);
+        // The unpinned repeat targets v2: a fresh (charged) execution, not
+        // a replay of the v1 result.
+        let v2 = engine.query(&request(1)).unwrap();
+        assert!(!v2.cached, "the v1 cache entry must not serve v2");
+        assert!(v2.charged.is_some());
+        // ε = 0.5 + 0.5 spent: the inherited ledger is now exhausted.
+        assert!(matches!(
+            engine.query(&request(3)).unwrap_err(),
+            EngineError::BudgetExhausted { .. }
+        ));
+        (v1.value, v2.value, engine.status("demo").unwrap())
+    };
+    assert_ne!(v1_value, v2_value, "different data, different answer");
+
+    // Phase 2: reopen — as after a crash. The version chain, the inherited
+    // spend, and both versions' cache entries are all rebuilt from the
+    // journal.
+    let engine = Engine::open(engine_config(), store_config(&dir)).unwrap();
+    let status = engine.status("demo").unwrap();
+    assert_eq!(status.version, 2);
+    assert_eq!(status.granted, status_before.granted);
+    assert_eq!(status.spent, status_before.spent, "spend is bit-identical");
+    assert_eq!(status.inherited_spend, status_before.inherited_spend);
+    // Exhausted on v1 stays exhausted on v2 (and vice versa): fresh
+    // queries are refused against either version.
+    assert!(matches!(
+        engine.query(&request(3)).unwrap_err(),
+        EngineError::BudgetExhausted { .. }
+    ));
+    let mut pinned_fresh = request(4);
+    pinned_fresh.version = Some(1);
+    assert!(matches!(
+        engine.query(&pinned_fresh).unwrap_err(),
+        EngineError::BudgetExhausted { .. }
+    ));
+    // The replay cache is version-scoped: the unpinned repeat replays the
+    // v2 release, the v1 pin replays the v1 release, and they differ.
+    let replay_v2 = engine.query(&request(1)).unwrap();
+    assert!(replay_v2.cached, "v2 release must replay from the journal");
+    assert_eq!(replay_v2.value, v2_value);
+    let mut pinned = request(1);
+    pinned.version = Some(1);
+    let replay_v1 = engine.query(&pinned).unwrap();
+    assert!(replay_v1.cached, "v1 release must replay from the journal");
+    assert_eq!(replay_v1.value, v1_value);
+    // Per-version status survives recovery too.
+    let v1_status = engine.status_version("demo", 1).unwrap();
+    assert_eq!((v1_status.version, v1_status.points), (1, 60));
+    assert_eq!(v1_status.inherited_spend, None);
+    assert!(matches!(
+        engine.status_version("demo", 3).unwrap_err(),
+        EngineError::UnknownVersion { version: 3, .. }
+    ));
+
+    // Phase 3: checkpoint into a snapshot (format v2 carries the version
+    // table) and recover from it — identical to journal recovery.
+    let mut with_snapshots = store_config(&dir);
+    with_snapshots.snapshot_dir = Some(dir.join("snapshots"));
+    let checkpoint_status = {
+        let engine = Engine::open(engine_config(), with_snapshots.clone()).unwrap();
+        engine.snapshot_now().unwrap().expect("snapshot dir is set");
+        engine.status("demo").unwrap()
+    };
+    let engine = Engine::open(engine_config(), with_snapshots).unwrap();
+    assert_eq!(engine.status("demo").unwrap(), checkpoint_status);
+    assert_eq!(engine.status("demo").unwrap().version, 2);
+    assert!(engine.query(&request(1)).unwrap().cached);
+    let mut pinned = request(1);
+    pinned.version = Some(1);
+    assert_eq!(engine.query(&pinned).unwrap().value, v1_value);
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -20,6 +20,7 @@ use rand::SeedableRng;
 fn request(seed: u64, query: Query) -> QueryRequest {
     QueryRequest {
         dataset: "reuse".into(),
+        version: None,
         seed,
         // Roomy per-query ε: algorithmic success, not accuracy, is at stake.
         privacy: PrivacyParams::new(4.0, 1e-6).unwrap(),

@@ -69,6 +69,7 @@ fn batch(seeds: std::ops::Range<u64>) -> Vec<QueryRequest> {
     seeds
         .map(|seed| QueryRequest {
             dataset: "surface".into(),
+            version: None,
             seed,
             privacy: PrivacyParams::new(0.4, 1e-7).unwrap(),
             query: Query::GoodRadius { t: 100, beta: 0.1 },
@@ -108,16 +109,19 @@ fn metrics_wire_op_round_trips_and_reports_the_workload() {
     let metrics = get(&doc, "metrics");
     let histograms = get(metrics, "histograms");
     let admission = get(histograms, "admission_seconds");
-    // Three query admissions ran before the scrape (two fresh, one cached).
-    assert_eq!(as_num(get(admission, "count")), 3.0);
+    // Five query admissions ran before the scrape: two fresh + one cached
+    // against v1, then one fresh + one version-pinned replay after the
+    // mid-workload re-registration.
+    assert_eq!(as_num(get(admission, "count")), 5.0);
     assert!(
         as_num(get(admission, "sum")) > 0.0,
         "non-zero admission time"
     );
     let counters = get(metrics, "counters");
-    assert_eq!(as_num(get(counters, "queries_total")), 3.0);
-    assert_eq!(as_num(get(counters, "cache_hits_total")), 1.0);
-    assert_eq!(as_num(get(counters, "cache_misses_total")), 2.0);
+    assert_eq!(as_num(get(counters, "queries_total")), 5.0);
+    assert_eq!(as_num(get(counters, "cache_hits_total")), 2.0);
+    assert_eq!(as_num(get(counters, "cache_misses_total")), 3.0);
+    assert_eq!(as_num(get(counters, "reregistrations_total")), 1.0);
 
     // The budget gauges agree with the `status` op's ledger view.
     let status = engine.status("smoke").unwrap();
@@ -130,6 +134,11 @@ fn metrics_wire_op_round_trips_and_reports_the_workload() {
         as_num(get(gauges, "budget_spend_count{dataset=\"smoke\"}")),
         status.granted as f64
     );
+    assert_eq!(
+        as_num(get(gauges, "dataset_version{dataset=\"smoke\"}")),
+        status.version as f64
+    );
+    assert_eq!(status.version, 2);
 }
 
 /// Counter totals and histogram counts per engine are a function of the

@@ -26,6 +26,7 @@ const N: usize = 50_000;
 fn request(seed: u64, query: Query) -> QueryRequest {
     QueryRequest {
         dataset: "large".into(),
+        version: None,
         seed,
         privacy: PrivacyParams::new(4.0, 1e-6).unwrap(),
         query,

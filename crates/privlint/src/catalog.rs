@@ -107,18 +107,25 @@ reject values outside [0, 2^53). Never cast a wire-layer f64 directly.",
     },
     RuleInfo {
         id: "journal-order",
-        summary: "a release-journaling call lexically before the charge append in the same function",
+        summary: "a write-ahead inversion: release journaled before its charge, or the registry \
+version flipped before the reregister append, in the same function",
         scope: "library code of crates/engine",
         motivation: "PR 5's soundness ordering: a query's budget charge must be \
 appended and fsynced *before* its result is released (journaled or cached). \
 Reversing the order opens a crash window in which a released value exists with \
 no durable charge — on recovery the spend would be silently refunded, which is \
-a privacy violation, not an availability gap.",
+a privacy violation, not an availability gap. The versioned-registration PR \
+extends the same discipline to re-registration: the reregister record must be \
+journaled before `push_version` flips the registry, or a crash leaves the \
+process serving version v+1 while the journal still says v — recovery would \
+resurrect the old data under spend accrued against the new.",
         fix: "Keep charge-record appends (`StoreRecord::Charge`/`ChargeRecord`) \
 lexically and causally before any release-record append \
-(`StoreRecord::Release`/`ReleaseRecord`) within the same function. If a \
-function legitimately handles both in a read-only replay path, waive with a \
-reason explaining why no journal write happens.",
+(`StoreRecord::Release`/`ReleaseRecord`) within the same function, and \
+reregister-record appends (`StoreRecord::Reregister`/`ReregisterRecord`) \
+before the `push_version` call they cover. If a function legitimately handles \
+both in a read-only replay path, waive with a reason explaining why no \
+journal write happens.",
     },
     RuleInfo {
         id: "event-payload-leak",

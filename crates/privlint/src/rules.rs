@@ -310,8 +310,10 @@ layer; parse through `wire::req_u64`",
     }
 }
 
-/// `journal-order` — within one engine function body, a release-record
-/// append marker lexically precedes the charge-record marker.
+/// `journal-order` — within one engine function body, a write-ahead
+/// ordering inversion: a release-record append marker lexically precedes
+/// the charge-record marker, or the registry version flip (`push_version`)
+/// precedes the re-register append marker.
 fn journal_order(
     scope: &FileScope,
     sig: &SigTokens<'_>,
@@ -347,6 +349,30 @@ fn journal_order(
                     format!(
                         "in `{}`, a release-journaling call precedes the charge append — the charge \
 must be journaled and fsynced before any result is released (PR-5 soundness ordering)",
+                        body.name
+                    ),
+                );
+            }
+        }
+        // Re-registration: journal the reregister record *before* flipping
+        // the registry to the new version. The inverse window would leave a
+        // registry serving v+1 whose journal still says v — a crash there
+        // recovers the old data with the new spend unaccounted for.
+        let reregister = first("Reregister", "ReregisterRecord", "append_reregister");
+        let flip = range
+            .clone()
+            .find(|&i| lib(sig.tok(i).line) && sig.is_ident(i, "push_version"));
+        if let (Some(p), Some(r)) = (flip, reregister) {
+            if p < r {
+                push(
+                    findings,
+                    "journal-order",
+                    sig,
+                    p,
+                    format!(
+                        "in `{}`, the registry version flip (`push_version`) precedes the \
+reregister append — the reregister record must be journaled and fsynced before the registry \
+mutates (write-ahead ordering)",
                         body.name
                     ),
                 );
@@ -477,5 +503,23 @@ mod tests {
         // split across two functions: no ordering constraint
         let split = "fn a(s: &Store) { s.append(StoreRecord::Release(r)); }\nfn b(s: &Store) { s.append(StoreRecord::Charge(c)); }";
         assert_eq!(check("crates/engine/src/a.rs", split).len(), 0);
+    }
+
+    #[test]
+    fn journal_order_flags_push_version_before_reregister_append() {
+        let bad = "fn rr(s: &Store, g: &Registry) { g.push_version(e); s.append(StoreRecord::Reregister(r)); }";
+        let good = "fn rr(s: &Store, g: &Registry) { s.append(StoreRecord::Reregister(r)); g.push_version(e); }";
+        let f = check("crates/engine/src/a.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "journal-order");
+        assert_eq!(check("crates/engine/src/a.rs", good).len(), 0);
+        // A replay path that flips the version without journaling anything
+        // (the record is already durable) is not this rule's business.
+        let replay_only = "fn replay(g: &Registry) { g.push_version(e); }";
+        assert_eq!(check("crates/engine/src/a.rs", replay_only).len(), 0);
+        // The charge/release and reregister/push_version checks are
+        // independent: one function can trip both.
+        let both = "fn f(s: &Store, g: &Registry) { s.append(StoreRecord::Release(r)); g.push_version(e); s.append(StoreRecord::Charge(c)); s.append(StoreRecord::Reregister(rr)); }";
+        assert_eq!(check("crates/engine/src/a.rs", both).len(), 2);
     }
 }

@@ -1,0 +1,16 @@
+//@ lint-as: crates/engine/src/reregister.rs
+pub fn reregister(s: &Store, reg: &Registry, entry: Entry, rec: Reregister) {
+    s.append(StoreRecord::Reregister(rec));
+    reg.push_version(entry);
+}
+
+pub fn replay(reg: &Registry, rereg: &ReregisterRecord, entry: Entry) {
+    // Recovery replays the already-journaled record: the marker precedes
+    // the flip, so the write-ahead order holds.
+    let _ = rereg;
+    reg.push_version(entry);
+}
+
+pub fn flip_only(reg: &Registry, entry: Entry) {
+    reg.push_version(entry);
+}

@@ -1,0 +1,8 @@
+//@ lint-as: crates/engine/src/rollback.rs
+pub fn undo(s: &Store, reg: &Registry, entry: Entry, rec: Reregister) {
+    // privlint::allow(journal-order): rollback of a refused version flip
+    // re-installs the predecessor entry before annulling the journaled
+    // reregister record; no new version becomes visible in this window
+    reg.push_version(entry); //~ WAIVED journal-order
+    s.append(StoreRecord::Reregister(rec));
+}

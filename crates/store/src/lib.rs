@@ -43,7 +43,9 @@ mod wire;
 pub use error::StoreError;
 pub use format::{crc32, TailStatus, MAX_RECORD_BYTES};
 pub use journal::{Journal, JournalScan};
-pub use record::{ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, StoreRecord};
+pub use record::{
+    ChargeRecord, DomainSpec, RegisterRecord, ReleaseRecord, ReregisterRecord, StoreRecord,
+};
 pub use recovery::StoreState;
 pub use snapshot::Snapshot;
 pub use store::{RecoveryReport, Store, StoreConfig, StoreObserver};

@@ -1,12 +1,18 @@
 //! The journal's typed records: the engine state transitions that must be
 //! durable.
 //!
-//! Three record kinds cover every privacy-relevant transition:
+//! Four record kinds cover every privacy-relevant transition:
 //!
 //! * [`RegisterRecord`] — a dataset registration: name, domain, declared
 //!   budget, composition mode, geometry-backend kind, and the data itself
 //!   (so recovery is self-contained), keyed by a canonical registration
 //!   fingerprint.
+//! * [`ReregisterRecord`] — a dataset re-registration: the same name gets
+//!   a new data version (`version = v+1`) with fresh rows and a fresh
+//!   geometry backend, while the privacy ledger is **inherited** — no
+//!   budget or composition fields appear here because re-registration can
+//!   never reset either. **Written and fsynced before the registry
+//!   mutation**, same soundness argument as charge-before-release.
 //! * [`ChargeRecord`] — an admitted budget charge, keyed by the query's
 //!   canonical fingerprint. **Written and fsynced before the noisy result
 //!   is released** — the write-ahead invariant the whole layer exists for.
@@ -66,6 +72,32 @@ pub struct RegisterRecord {
     pub rows: Vec<Vec<f64>>,
 }
 
+/// A dataset re-registration: version `v+1` of an existing name.
+///
+/// Carries no budget or composition mode on purpose — both are inherited
+/// from the original [`RegisterRecord`], so a re-registration cannot even
+/// *express* a budget reset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReregisterRecord {
+    /// Journal sequence number (assigned at append).
+    pub seq: u64,
+    /// Dataset name (must already be registered).
+    pub dataset: String,
+    /// The version this record creates; replay requires it to be exactly
+    /// one above the name's current version, so version history is
+    /// reconstructed bit-identically.
+    pub version: u64,
+    /// The declared domain of the new version.
+    pub domain: DomainSpec,
+    /// Geometry backend kind for the new version's build.
+    pub backend: String,
+    /// Canonical versioned registration fingerprint (computed by the
+    /// engine; recovery verifies the rebuilt entry against it).
+    pub fingerprint: String,
+    /// The new version's data rows, so recovery is self-contained.
+    pub rows: Vec<Vec<f64>>,
+}
+
 /// An admitted budget charge — durable *before* its result is released.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChargeRecord {
@@ -100,6 +132,8 @@ pub struct ReleaseRecord {
 pub enum StoreRecord {
     /// A dataset registration.
     Register(RegisterRecord),
+    /// A dataset re-registration (new version, inherited ledger).
+    Reregister(ReregisterRecord),
     /// An admitted budget charge.
     Charge(ChargeRecord),
     /// A released result.
@@ -111,6 +145,7 @@ impl StoreRecord {
     pub fn seq(&self) -> u64 {
         match self {
             StoreRecord::Register(r) => r.seq,
+            StoreRecord::Reregister(r) => r.seq,
             StoreRecord::Charge(r) => r.seq,
             StoreRecord::Release(r) => r.seq,
         }
@@ -120,6 +155,7 @@ impl StoreRecord {
     pub fn with_seq(mut self, seq: u64) -> Self {
         match &mut self {
             StoreRecord::Register(r) => r.seq = seq,
+            StoreRecord::Reregister(r) => r.seq = seq,
             StoreRecord::Charge(r) => r.seq = seq,
             StoreRecord::Release(r) => r.seq = seq,
         }
@@ -142,44 +178,86 @@ impl StoreRecord {
             .into_bytes()
     }
 
+    fn rows_from_json(value: &Value) -> Result<Vec<Vec<f64>>, StoreError> {
+        req(value, "rows")?
+            .as_array()
+            .ok_or_else(|| StoreError::Corrupt("field `rows` must be an array".into()))?
+            .iter()
+            .map(|row| {
+                row.as_array()
+                    .ok_or_else(|| {
+                        StoreError::Corrupt("each row must be an array of numbers".into())
+                    })?
+                    .iter()
+                    .map(|c| {
+                        c.as_f64().ok_or_else(|| {
+                            StoreError::Corrupt("row coordinates must be numbers".into())
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, _>>()
+            })
+            .collect::<Result<Vec<Vec<f64>>, _>>()
+    }
+
+    fn domain_from_json(value: &Value) -> Result<DomainSpec, StoreError> {
+        let domain_spec = req(value, "domain")?;
+        Ok(DomainSpec {
+            dim: req_usize(domain_spec, "dim")?,
+            size: req_u64(domain_spec, "size")?,
+            min: req_f64(domain_spec, "min")?,
+            max: req_f64(domain_spec, "max")?,
+        })
+    }
+
+    fn domain_to_json(domain: &DomainSpec) -> Value {
+        obj(vec![
+            ("dim", num(domain.dim as f64)),
+            ("size", num(domain.size as f64)),
+            ("min", num(domain.min)),
+            ("max", num(domain.max)),
+        ])
+    }
+
+    fn rows_to_json(rows: &[Vec<f64>]) -> Value {
+        Value::Array(
+            rows.iter()
+                .map(|row| Value::Array(row.iter().map(|&c| Value::Number(c)).collect()))
+                .collect(),
+        )
+    }
+
     pub(crate) fn from_json(value: &Value) -> Result<Self, StoreError> {
         match req_str(value, "type")?.as_str() {
-            "register" => {
-                let domain_spec = req(value, "domain")?;
-                let rows = req(value, "rows")?
-                    .as_array()
-                    .ok_or_else(|| StoreError::Corrupt("field `rows` must be an array".into()))?
-                    .iter()
-                    .map(|row| {
-                        row.as_array()
-                            .ok_or_else(|| {
-                                StoreError::Corrupt("each row must be an array of numbers".into())
-                            })?
-                            .iter()
-                            .map(|c| {
-                                c.as_f64().ok_or_else(|| {
-                                    StoreError::Corrupt("row coordinates must be numbers".into())
-                                })
-                            })
-                            .collect::<Result<Vec<f64>, _>>()
-                    })
-                    .collect::<Result<Vec<Vec<f64>>, _>>()?;
-                Ok(StoreRecord::Register(RegisterRecord {
+            "register" => Ok(StoreRecord::Register(RegisterRecord {
+                seq: req_u64(value, "seq")?,
+                dataset: req_str(value, "dataset")?,
+                domain: Self::domain_from_json(value)?,
+                budget: PrivacyParams::from_json_value(req(value, "budget")?)
+                    .map_err(StoreError::Corrupt)?,
+                mode: CompositionMode::from_json_value(req(value, "composition")?)
+                    .map_err(StoreError::Corrupt)?,
+                backend: req_str(value, "backend")?,
+                fingerprint: req_str(value, "fingerprint")?,
+                rows: Self::rows_from_json(value)?,
+            })),
+            "reregister" => {
+                let version = req_u64(value, "version")?;
+                if version < 2 {
+                    // Version 1 is always the original Register; a
+                    // reregister claiming it would let replay shadow the
+                    // record that carries the budget declaration.
+                    return Err(StoreError::Corrupt(format!(
+                        "reregister version must be >= 2, got {version}"
+                    )));
+                }
+                Ok(StoreRecord::Reregister(ReregisterRecord {
                     seq: req_u64(value, "seq")?,
                     dataset: req_str(value, "dataset")?,
-                    domain: DomainSpec {
-                        dim: req_usize(domain_spec, "dim")?,
-                        size: req_u64(domain_spec, "size")?,
-                        min: req_f64(domain_spec, "min")?,
-                        max: req_f64(domain_spec, "max")?,
-                    },
-                    budget: PrivacyParams::from_json_value(req(value, "budget")?)
-                        .map_err(StoreError::Corrupt)?,
-                    mode: CompositionMode::from_json_value(req(value, "composition")?)
-                        .map_err(StoreError::Corrupt)?,
+                    version,
+                    domain: Self::domain_from_json(value)?,
                     backend: req_str(value, "backend")?,
                     fingerprint: req_str(value, "fingerprint")?,
-                    rows,
+                    rows: Self::rows_from_json(value)?,
                 }))
             }
             "charge" => Ok(StoreRecord::Charge(ChargeRecord {
@@ -208,30 +286,22 @@ impl StoreRecord {
                 ("type", s("register")),
                 ("seq", num(r.seq as f64)),
                 ("dataset", s(r.dataset.clone())),
-                (
-                    "domain",
-                    obj(vec![
-                        ("dim", num(r.domain.dim as f64)),
-                        ("size", num(r.domain.size as f64)),
-                        ("min", num(r.domain.min)),
-                        ("max", num(r.domain.max)),
-                    ]),
-                ),
+                ("domain", Self::domain_to_json(&r.domain)),
                 ("budget", r.budget.to_json_value()),
                 ("composition", r.mode.to_json_value()),
                 ("backend", s(r.backend.clone())),
                 ("fingerprint", s(r.fingerprint.clone())),
-                (
-                    "rows",
-                    Value::Array(
-                        r.rows
-                            .iter()
-                            .map(|row| {
-                                Value::Array(row.iter().map(|&c| Value::Number(c)).collect())
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("rows", Self::rows_to_json(&r.rows)),
+            ]),
+            StoreRecord::Reregister(r) => obj(vec![
+                ("type", s("reregister")),
+                ("seq", num(r.seq as f64)),
+                ("dataset", s(r.dataset.clone())),
+                ("version", num(r.version as f64)),
+                ("domain", Self::domain_to_json(&r.domain)),
+                ("backend", s(r.backend.clone())),
+                ("fingerprint", s(r.fingerprint.clone())),
+                ("rows", Self::rows_to_json(&r.rows)),
             ]),
             StoreRecord::Charge(r) => obj(vec![
                 ("type", s("charge")),
@@ -274,6 +344,23 @@ pub(crate) mod test_support {
         })
     }
 
+    pub fn reregister(seq: u64, name: &str, version: u64) -> StoreRecord {
+        StoreRecord::Reregister(ReregisterRecord {
+            seq,
+            dataset: name.to_string(),
+            version,
+            domain: DomainSpec {
+                dim: 2,
+                size: 1024,
+                min: 0.0,
+                max: 1.0,
+            },
+            backend: "exact".to_string(),
+            fingerprint: format!("reg|{name}|v{version}"),
+            rows: vec![vec![0.125, 0.875], vec![0.5, 0.25], vec![0.75, 0.75]],
+        })
+    }
+
     pub fn charge(seq: u64, name: &str, fp: &str, epsilon: f64) -> StoreRecord {
         StoreRecord::Charge(ChargeRecord {
             seq,
@@ -308,6 +395,7 @@ mod tests {
             register(1, "demo"),
             charge(2, "demo", "q|demo|1", 0.5),
             release(3, "demo", "q|demo|1"),
+            reregister(4, "demo", 2),
         ];
         for record in records {
             let payload = record.to_payload();
@@ -321,11 +409,26 @@ mod tests {
     fn with_seq_stamps_every_variant() {
         for record in [
             register(0, "d"),
+            reregister(0, "d", 2),
             charge(0, "d", "fp", 0.5),
             release(0, "d", "fp"),
         ] {
             assert_eq!(record.with_seq(9).seq(), 9);
         }
+    }
+
+    #[test]
+    fn reregister_cannot_claim_version_one_or_carry_a_budget() {
+        // Version 1 belongs to the original Register record.
+        let v1 = br#"{"type":"reregister","seq":5,"dataset":"d","version":1,"domain":{"dim":2,"size":8,"min":0.0,"max":1.0},"backend":"exact","fingerprint":"f","rows":[[0.5,0.5]]}"#;
+        assert!(StoreRecord::from_payload(v1).is_err());
+        // The wire shape has no budget/composition fields at all: a decoded
+        // reregister is structurally unable to reset the ledger.
+        let StoreRecord::Reregister(r) = StoreRecord::from_payload(&reregister(4, "d", 2).to_payload()).unwrap()
+        else {
+            panic!("expected a reregister record");
+        };
+        assert_eq!(r.version, 2);
     }
 
     #[test]

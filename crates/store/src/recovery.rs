@@ -14,9 +14,9 @@
 //! *charged-but-unreleased* (the crash window between journal commit and
 //! result release) and the spend stands.
 
-use crate::record::{ChargeRecord, RegisterRecord, ReleaseRecord, StoreRecord};
+use crate::record::{ChargeRecord, RegisterRecord, ReleaseRecord, ReregisterRecord, StoreRecord};
 use crate::snapshot::Snapshot;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Compacted journal state; also the live mirror the [`Store`] keeps for
@@ -27,7 +27,10 @@ use std::sync::Arc;
 pub struct StoreState {
     seq: u64,
     registers: Vec<Arc<RegisterRecord>>,
-    register_names: HashSet<String>,
+    reregisters: Vec<Arc<ReregisterRecord>>,
+    /// Current version per registered name: 1 at registration, bumped by
+    /// each applied reregister. Doubles as the first-wins register set.
+    versions: HashMap<String, u64>,
     charges: Vec<ChargeRecord>,
     releases: Vec<ReleaseRecord>,
     release_keys: HashSet<String>,
@@ -42,7 +45,8 @@ impl StoreState {
         StoreState {
             seq: 0,
             registers: Vec::new(),
-            register_names: HashSet::new(),
+            reregisters: Vec::new(),
+            versions: HashMap::new(),
             charges: Vec::new(),
             releases: Vec::new(),
             release_keys: HashSet::new(),
@@ -71,7 +75,9 @@ impl StoreState {
     /// Applies one record; returns `false` when the record had no effect —
     /// either its sequence number was already covered (nothing changes), or
     /// it lost a first-wins race (only the sequence cursor advances).
-    /// Registers are first-wins by name; duplicate release fingerprints are
+    /// Registers are first-wins by name; reregisters apply only when their
+    /// version is exactly one above the name's current version (so version
+    /// history replays bit-identically); duplicate release fingerprints are
     /// kept first-wins (identical requests are deterministic, so duplicates
     /// carry the same value).
     pub fn apply(&mut self, record: &StoreRecord) -> bool {
@@ -81,10 +87,20 @@ impl StoreState {
         self.seq = record.seq();
         match record {
             StoreRecord::Register(r) => {
-                if !self.register_names.insert(r.dataset.clone()) {
+                if self.versions.contains_key(&r.dataset) {
                     return false;
                 }
+                self.versions.insert(r.dataset.clone(), 1);
                 self.registers.push(Arc::new(r.clone()));
+            }
+            StoreRecord::Reregister(r) => {
+                match self.versions.get_mut(&r.dataset) {
+                    Some(current) if r.version == *current + 1 => *current = r.version,
+                    // Unknown name or out-of-sequence version: no effect
+                    // (the cursor still advances — replay stays idempotent).
+                    _ => return false,
+                }
+                self.reregisters.push(Arc::new(r.clone()));
             }
             StoreRecord::Charge(r) => {
                 self.charges.push(r.clone());
@@ -113,6 +129,17 @@ impl StoreState {
         &self.registers
     }
 
+    /// The applied re-registrations, in journal order.
+    pub fn reregisters(&self) -> &[Arc<ReregisterRecord>] {
+        &self.reregisters
+    }
+
+    /// Current version per registered dataset name (1 = never
+    /// re-registered).
+    pub fn versions(&self) -> &HashMap<String, u64> {
+        &self.versions
+    }
+
     /// Every committed charge, in journal order.
     pub fn charges(&self) -> &[ChargeRecord] {
         &self.charges
@@ -136,12 +163,21 @@ impl StoreState {
 
     /// A snapshot of this state, covering everything applied so far.
     pub fn to_snapshot(&self) -> Snapshot {
-        let mut records: Vec<StoreRecord> =
-            Vec::with_capacity(self.registers.len() + self.charges.len() + self.releases.len());
+        let mut records: Vec<StoreRecord> = Vec::with_capacity(
+            self.registers.len()
+                + self.reregisters.len()
+                + self.charges.len()
+                + self.releases.len(),
+        );
         records.extend(
             self.registers
                 .iter()
                 .map(|r| StoreRecord::Register((**r).clone())),
+        );
+        records.extend(
+            self.reregisters
+                .iter()
+                .map(|r| StoreRecord::Reregister((**r).clone())),
         );
         records.extend(self.charges.iter().cloned().map(StoreRecord::Charge));
         records.extend(self.releases.iter().cloned().map(StoreRecord::Release));
@@ -165,6 +201,13 @@ impl StoreState {
                 .iter()
                 .zip(other.registers.iter())
                 .all(|(a, b)| a == b)
+            && self.reregisters.len() == other.reregisters.len()
+            && self
+                .reregisters
+                .iter()
+                .zip(other.reregisters.iter())
+                .all(|(a, b)| a == b)
+            && self.versions == other.versions
             && self.charges == other.charges
             && self.releases == other.releases
     }
@@ -173,7 +216,7 @@ impl StoreState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::test_support::{charge, register, release};
+    use crate::record::test_support::{charge, register, release, reregister};
 
     #[test]
     fn replay_is_idempotent_and_seq_gated() {
@@ -211,6 +254,49 @@ mod tests {
         // the overlap.
         let resumed = StoreState::recover(Some(&snapshot), &full, 16);
         assert!(direct.same_state(&resumed));
+    }
+
+    #[test]
+    fn reregisters_build_a_gapless_version_history() {
+        let records = vec![
+            register(1, "a"),
+            charge(2, "a", "q1", 0.25),
+            reregister(3, "a", 2),
+            reregister(4, "a", 2), // duplicate version: no effect
+            reregister(5, "a", 4), // gap: no effect
+            reregister(6, "a", 3),
+            reregister(7, "ghost", 2), // unknown name: no effect
+            charge(8, "a", "q2", 0.5),
+        ];
+        let state = StoreState::recover(None, &records, 16);
+        assert_eq!(state.versions().get("a"), Some(&3));
+        assert!(!state.versions().contains_key("ghost"));
+        let applied: Vec<u64> = state.reregisters().iter().map(|r| r.version).collect();
+        assert_eq!(applied, vec![2, 3]);
+        assert_eq!(state.seq(), 8, "skipped records still advance the cursor");
+        // The ledger is version-blind: charges from before and after the
+        // re-registrations all stand.
+        assert_eq!(state.charges().len(), 2);
+        // Replaying the same journal on top changes nothing.
+        let mut twice = state.clone();
+        for r in &records {
+            assert!(!twice.apply(r));
+        }
+        assert!(state.same_state(&twice));
+    }
+
+    #[test]
+    fn snapshot_round_trips_version_history() {
+        let records = vec![
+            register(1, "a"),
+            reregister(2, "a", 2),
+            charge(3, "a", "q1", 0.25),
+            reregister(4, "a", 3),
+        ];
+        let direct = StoreState::recover(None, &records, 16);
+        let resumed = StoreState::recover(Some(&direct.to_snapshot()), &records, 16);
+        assert!(direct.same_state(&resumed));
+        assert_eq!(resumed.versions().get("a"), Some(&3));
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! atomically renamed to `snap-<seq>.pcss` (and the directory fsynced), so
 //! a crash mid-snapshot can never damage an older snapshot — the loader
 //! simply falls back to the newest file that validates.
+//!
+//! Payload format versions: version 1 predates dataset versioning (its
+//! record list holds only register/charge/release records); version 2 adds
+//! reregister records and a declared `versions` table, cross-checked at
+//! load time against the table replay derives from the records themselves.
+//! Both versions decode; new snapshots are always written as version 2.
 
 use crate::error::StoreError;
 use crate::format::{encode_frame, scan_frames, TailStatus, SNAPSHOT_MAGIC};
@@ -29,10 +35,44 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The dataset-version table these records replay to: register → 1
+    /// (first-wins), reregister → bump when gapless. Mirrors the gating in
+    /// [`StoreState::apply`](crate::StoreState::apply), so the declared
+    /// table in a v2 payload can be cross-checked without a full replay.
+    pub fn version_table(&self) -> Vec<(String, u64)> {
+        let mut table: Vec<(String, u64)> = Vec::new();
+        for record in &self.records {
+            match record {
+                StoreRecord::Register(r) if !table.iter().any(|(name, _)| name == &r.dataset) => {
+                    table.push((r.dataset.clone(), 1));
+                }
+                StoreRecord::Reregister(r) => {
+                    if let Some((_, v)) = table.iter_mut().find(|(name, _)| name == &r.dataset) {
+                        if r.version == *v + 1 {
+                            *v = r.version;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        table.sort();
+        table
+    }
+
     fn to_json_value(&self) -> Value {
         obj(vec![
-            ("version", num(1.0)),
+            ("version", num(2.0)),
             ("seq", num(self.seq as f64)),
+            (
+                "versions",
+                Value::Object(
+                    self.version_table()
+                        .into_iter()
+                        .map(|(name, v)| (name, num(v as f64)))
+                        .collect(),
+                ),
+            ),
             (
                 "records",
                 Value::Array(self.records.iter().map(|r| r.to_json_value()).collect()),
@@ -42,7 +82,7 @@ impl Snapshot {
 
     fn from_json(value: &Value) -> Result<Self, StoreError> {
         let version = req_u64(value, "version")?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(StoreError::Corrupt(format!(
                 "unsupported snapshot version {version}"
             )));
@@ -53,10 +93,49 @@ impl Snapshot {
             .iter()
             .map(StoreRecord::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Snapshot {
+        let snapshot = Snapshot {
             seq: req_u64(value, "seq")?,
             records,
-        })
+        };
+        if version == 2 {
+            // The declared table must match what the records replay to — a
+            // mismatch means the snapshot is internally inconsistent and
+            // replaying it would reconstruct a version history the writer
+            // did not see.
+            let declared = req(value, "versions")?
+                .as_object()
+                .ok_or_else(|| StoreError::Corrupt("snapshot `versions` must be an object".into()))?
+                .iter()
+                .map(|(name, v)| {
+                    v.as_f64()
+                        .filter(|x| *x >= 1.0 && x.fract() == 0.0)
+                        .map(|x| (name.clone(), x as u64))
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "snapshot version for `{name}` must be a positive integer"
+                            ))
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut declared = declared;
+            declared.sort();
+            let derived = snapshot.version_table();
+            if declared != derived {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot version table {declared:?} does not match its records \
+                     (replay derives {derived:?})"
+                )));
+            }
+        } else if snapshot
+            .records
+            .iter()
+            .any(|r| matches!(r, StoreRecord::Reregister(_)))
+        {
+            return Err(StoreError::Corrupt(
+                "version-1 snapshot contains reregister records".into(),
+            ));
+        }
+        Ok(snapshot)
     }
 }
 
@@ -159,7 +238,7 @@ fn load_snapshot(path: &Path) -> Result<Snapshot, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::test_support::{charge, register, release};
+    use crate::record::test_support::{charge, register, release, reregister};
 
     fn snapshot(seq: u64) -> Snapshot {
         Snapshot {
@@ -170,6 +249,69 @@ mod tests {
                 release(3, "demo", "q1"),
             ],
         }
+    }
+
+    fn write_raw(dir: &Path, name: &str, payload: &[u8]) {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut bytes = SNAPSHOT_MAGIC.to_vec();
+        bytes.extend(encode_frame(payload).unwrap());
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+
+    #[test]
+    fn version_one_payloads_still_decode() {
+        let dir = crate::test_dir::scratch_path("snapshots-v1");
+        std::fs::remove_dir_all(&dir).ok();
+        // A pre-versioning snapshot, exactly as the v1 writer emitted it:
+        // no `versions` table, no reregister records.
+        let expected = snapshot(3);
+        let v1 = obj(vec![
+            ("version", num(1.0)),
+            ("seq", num(3.0)),
+            (
+                "records",
+                Value::Array(expected.records.iter().map(|r| r.to_json_value()).collect()),
+            ),
+        ]);
+        let payload = serde_json::to_string(&v1).unwrap().into_bytes();
+        write_raw(&dir, "snap-00000000000000000003.pcss", &payload);
+        assert_eq!(load_latest(&dir).unwrap().unwrap(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_two_table_is_cross_checked() {
+        let dir = crate::test_dir::scratch_path("snapshots-v2-check");
+        std::fs::remove_dir_all(&dir).ok();
+        let reference = Snapshot {
+            seq: 4,
+            records: vec![
+                register(1, "demo"),
+                reregister(2, "demo", 2),
+                charge(3, "demo", "q1", 0.5),
+            ],
+        };
+        write_snapshot(&dir, &reference).unwrap();
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded, reference);
+        assert_eq!(loaded.version_table(), vec![("demo".to_string(), 2)]);
+        // Tamper with the declared table only: the records still parse, but
+        // the cross-check must reject the inconsistent payload.
+        let mut json = reference.to_json_value();
+        if let Value::Object(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "versions" {
+                    *v = Value::Object(vec![("demo".to_string(), num(5.0))]);
+                }
+            }
+        }
+        let payload = serde_json::to_string(&json).unwrap().into_bytes();
+        write_raw(&dir, "snap-00000000000000000009.pcss", &payload);
+        assert!(matches!(
+            load_latest(&dir),
+            Err(StoreError::Corrupt(ref m)) if m.contains("version table")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! durability PR): for arbitrary journals,
 //!
 //! (a) replay is idempotent — replaying the same journal twice (and
-//!     resuming from any snapshot of a prefix) yields the same state,
+//!     resuming from any snapshot of a prefix) yields the same state, with
+//!     registers, re-registrations, charges, and releases interleaved
+//!     arbitrarily, and every dataset's version history stays gapless,
 //! (b) recovering a journal whose tail was truncated or corrupted yields
 //!     exactly the committed-prefix state — earlier charges are never
 //!     refunded, and the composed spend is monotone in the prefix length,
@@ -12,7 +14,8 @@
 use privcluster_dp::composition::CompositionMode;
 use privcluster_dp::PrivacyParams;
 use privcluster_store::{
-    ChargeRecord, DomainSpec, Journal, RegisterRecord, ReleaseRecord, StoreRecord, StoreState,
+    ChargeRecord, DomainSpec, Journal, RegisterRecord, ReleaseRecord, ReregisterRecord,
+    StoreRecord, StoreState,
 };
 use proptest::prelude::*;
 use serde::Value;
@@ -26,12 +29,16 @@ fn scratch_path(tag: &str, case: u64) -> PathBuf {
 }
 
 /// Deterministically expands a compact spec (a list of small integers) into
-/// a journal: 0 → register a fresh dataset, otherwise → charge (and, when
+/// a journal: 0 → register a fresh dataset, 1 → re-register one (next
+/// version, inherited ledger), 2 → an *out-of-sequence* re-registration
+/// (claims a gapped version — journal-parseable, but replay must skip it
+/// without disturbing the version history), otherwise → charge (and, when
 /// the integer is even, also release) against a registered dataset.
 fn journal_from_spec(spec: &[u8]) -> Vec<StoreRecord> {
     let mut records = Vec::new();
     let mut seq = 0u64;
     let mut datasets: Vec<String> = Vec::new();
+    let mut versions: Vec<u64> = Vec::new();
     for &step in spec {
         seq += 1;
         if step == 0 || datasets.is_empty() {
@@ -52,6 +59,34 @@ fn journal_from_spec(spec: &[u8]) -> Vec<StoreRecord> {
                 rows: vec![vec![0.25, 0.5], vec![0.75, 0.5]],
             }));
             datasets.push(name);
+            versions.push(1);
+            continue;
+        }
+        if step == 1 || step == 2 {
+            let i = seq as usize % datasets.len();
+            let name = datasets[i].clone();
+            let version = if step == 1 {
+                versions[i] + 1
+            } else {
+                versions[i] + 2 // a gap: replay must refuse it
+            };
+            records.push(StoreRecord::Reregister(ReregisterRecord {
+                seq,
+                dataset: name.clone(),
+                version,
+                domain: DomainSpec {
+                    dim: 2,
+                    size: 1024,
+                    min: 0.0,
+                    max: 1.0,
+                },
+                backend: "exact".to_string(),
+                fingerprint: format!("reg|{name}|v{version}"),
+                rows: vec![vec![0.5, 0.25], vec![0.25, 0.75]],
+            }));
+            if step == 1 {
+                versions[i] += 1;
+            }
             continue;
         }
         let dataset = datasets[step as usize % datasets.len()].clone();
@@ -117,6 +152,20 @@ proptest! {
         let resumed = StoreState::recover(Some(&snapshot), &records, 32);
         prop_assert!(full.same_state(&resumed),
             "snapshot at {k}/{} + full journal must equal full replay", records.len());
+
+        // Version histories are gapless no matter how the journal
+        // interleaved valid and out-of-sequence re-registrations: each
+        // dataset's applied versions count 2, 3, … up to its current one.
+        for (name, version) in full.versions() {
+            let applied: Vec<u64> = full
+                .reregisters()
+                .iter()
+                .filter(|r| &r.dataset == name)
+                .map(|r| r.version)
+                .collect();
+            prop_assert!(applied == (2..=*version).collect::<Vec<u64>>(),
+                "dataset {name} must replay a gapless chain to {version}, got {applied:?}");
+        }
     }
 
     /// (b) A lost tail only loses the tail: recovery of any prefix is

@@ -37,6 +37,7 @@ fn main() {
     for seed in 0..5u64 {
         let request = QueryRequest {
             dataset: "hotspots".into(),
+            version: None,
             seed,
             privacy: PrivacyParams::new(0.3, 1e-8).unwrap(),
             query: Query::GoodRadius { t: 500, beta: 0.1 },
@@ -54,6 +55,7 @@ fn main() {
     let replay = engine
         .query(&QueryRequest {
             dataset: "hotspots".into(),
+            version: None,
             seed: 0,
             privacy: PrivacyParams::new(0.3, 1e-8).unwrap(),
             query: Query::GoodRadius { t: 500, beta: 0.1 },
@@ -71,6 +73,29 @@ fn main() {
         status.refused,
         status.spent.map(|p| p.epsilon()).unwrap_or(0.0),
         status.budget.epsilon()
+    );
+
+    // Refresh the data: version 2 gets a fresh backend, but the ledger is
+    // inherited — the spend above still counts, so the refusal stands.
+    let domain2 = GridDomain::unit_cube(2, 1 << 10).unwrap();
+    let mut rng2 = StdRng::seed_from_u64(11);
+    let refreshed = planted_ball_cluster(&domain2, 2_000, 1_000, 0.05, &mut rng2);
+    let status = engine
+        .reregister_dataset("hotspots", refreshed.data, domain2)
+        .unwrap();
+    println!(
+        "reregistered: version {}, inherited spend ε = {:.2} — still refused: {}",
+        status.version,
+        status.inherited_spend.map(|p| p.epsilon()).unwrap_or(0.0),
+        engine
+            .query(&QueryRequest {
+                dataset: "hotspots".into(),
+                version: None,
+                seed: 9,
+                privacy: PrivacyParams::new(0.3, 1e-8).unwrap(),
+                query: Query::GoodRadius { t: 500, beta: 0.1 },
+            })
+            .is_err()
     );
 
     // The same engine core behind the JSON-lines protocol (what `serve`

@@ -18,6 +18,23 @@
 #     the pre-crash releases);
 #   * a fresh query refused with budget_exhausted — refusals persist;
 #   * a second status showing the refusal counted.
+#
+# Phase 3 restarts once more and re-registers the dataset (fresh points,
+# inherited ledger). The kill -9 lands after the re-register record is
+# durably committed — the script polls the journal bytes for it — but
+# before the response is read, so whether the backend build finished is
+# irrelevant to the durable state: exactly one record (seq 8) was added.
+#
+# Phase 4 restarts on that journal and pins, byte for byte:
+#   * status: version=2 with the new point count, granted=3, spend 1.5,
+#     remaining ε=0, inherited_spend carrying the full v1 spend,
+#     journal_seq=8, recovered=true — the crash never refunds inherited
+#     spend;
+#   * a version-pinned query against v1 answered from the durable cache,
+#     bit-identical to the pre-crash release, with no charge;
+#   * the same query unpinned (targeting v2) refused with
+#     budget_exhausted — exhausted on v1 stays exhausted on v2;
+#   * a version-pinned status for the superseded v1.
 set -euo pipefail
 
 BIN=${1:-./target/release/serve}
@@ -66,6 +83,41 @@ if ! diff "$DATA/recovery_golden.jsonl" "$WORK/phase2.jsonl"; then
 fi
 grep -q "recovered: true" "$WORK/phase2.err" || {
     echo "crash-recovery smoke: serve did not report recovery on stderr" >&2
+    exit 1
+}
+
+# --- Phase 3: re-register, kill -9 after the journal commit --------------
+mkfifo "$WORK/requests3"
+"$BIN" --journal "$WORK/journal.pcsj" < "$WORK/requests3" > "$WORK/phase3.jsonl" 2>"$WORK/phase3.err" &
+SERVE_PID=$!
+exec 3>"$WORK/requests3"
+
+cat "$DATA/recovery_phase3.jsonl" >&3
+# Wait for the re-register record to hit the journal (it is fsynced before
+# the registry flips), then kill without reading the response.
+for _ in $(seq 1 600); do
+    grep -qa '"type":"reregister"' "$WORK/journal.pcsj" && break
+    sleep 0.1
+done
+grep -qa '"type":"reregister"' "$WORK/journal.pcsj" || {
+    echo "crash-recovery smoke: phase 3 never journaled the re-registration" >&2
+    cat "$WORK/phase3.err" >&2
+    exit 1
+}
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+exec 3>&-
+
+# --- Phase 4: recover the new version, diff against the golden -----------
+"$BIN" --journal "$WORK/journal.pcsj" < "$DATA/recovery_phase4.jsonl" > "$WORK/phase4.jsonl" 2>"$WORK/phase4.err"
+if ! diff "$DATA/recovery_golden_phase4.jsonl" "$WORK/phase4.jsonl"; then
+    echo "crash-recovery smoke: post-reregister transcript diverged from golden" >&2
+    cat "$WORK/phase4.err" >&2
+    exit 1
+fi
+grep -q "recovered: true" "$WORK/phase4.err" || {
+    echo "crash-recovery smoke: serve did not report recovery after reregister" >&2
     exit 1
 }
 echo "crash-recovery smoke: OK"

@@ -7,8 +7,11 @@
 # bound on an ephemeral port. Asserts:
 #   * the Prometheus scrape (bash /dev/tcp, no curl needed) exposes the
 #     required series — admission_seconds, fsync_seconds, cache_hits_total,
-#     budget_epsilon_remaining — and the per-dataset budget gauge carries
-#     the post-workload headroom (8 - 1 - 4 = 3 ε remaining);
+#     budget_epsilon_remaining — the per-dataset budget gauge carries the
+#     post-workload headroom (8 - 1 - 4 - 1 = 2 ε remaining: the inherited
+#     ledger keeps composing across the mid-workload re-registration), the
+#     dataset_version gauge reflects the new version, and the
+#     reregistrations_total counter recorded it;
 #   * filtering the metrics responses out of the transcript leaves it
 #     byte-identical to the committed golden file: telemetry perturbs
 #     nothing.
@@ -69,10 +72,14 @@ for series in admission_seconds fsync_seconds cache_hits_total budget_epsilon_re
     grep -q "^# TYPE $series" "$WORK/scrape.txt" \
         || fail "series $series missing from the scrape"
 done
-grep -q 'budget_epsilon_remaining{dataset="smoke"} 3' "$WORK/scrape.txt" \
+grep -q 'budget_epsilon_remaining{dataset="smoke"} 2' "$WORK/scrape.txt" \
     || fail "per-dataset budget gauge wrong or missing in the scrape"
-grep -q 'admission_seconds_count 3' "$WORK/scrape.txt" \
-    || fail "admission histogram did not record the three smoke queries"
+grep -q 'dataset_version{dataset="smoke"} 2' "$WORK/scrape.txt" \
+    || fail "dataset_version gauge did not follow the re-registration"
+grep -q 'reregistrations_total 1' "$WORK/scrape.txt" \
+    || fail "reregistrations_total did not count the re-registration"
+grep -q 'admission_seconds_count 5' "$WORK/scrape.txt" \
+    || fail "admission histogram did not record the five smoke queries"
 
 # Shut down cleanly, then prove passivity against the golden transcript.
 printf '%s\n' '{"op":"metrics"}' '{"op":"shutdown"}' >&3
