@@ -1099,7 +1099,9 @@ fn replayed_backend_kind(name: &str, backend: &str) -> Result<BackendKind, Engin
 /// Rebuilds and validates a journaled domain during replay.
 fn replayed_domain(name: &str, spec: &DomainSpec) -> Result<GridDomain, EngineError> {
     GridDomain::new(spec.dim, spec.size, spec.min, spec.max).map_err(|e| {
-        EngineError::Durability(format!("journaled domain of `{name}` does not validate: {e}"))
+        EngineError::Durability(format!(
+            "journaled domain of `{name}` does not validate: {e}"
+        ))
     })
 }
 

@@ -855,7 +855,11 @@ mod tests {
         )
         .unwrap();
         let response = handle(&engine, &rereg);
-        assert_eq!(get(&response, "ok"), Some(&Value::Bool(true)), "{response:?}");
+        assert_eq!(
+            get(&response, "ok"),
+            Some(&Value::Bool(true)),
+            "{response:?}"
+        );
         let status = get(&response, "status").unwrap();
         assert_eq!(get(status, "version").unwrap().as_f64(), Some(2.0));
         assert_eq!(get(status, "points").unwrap().as_f64(), Some(300.0));

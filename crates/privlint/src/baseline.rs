@@ -1,0 +1,241 @@
+//! Baseline mode: `check --baseline <file>` compares the current active
+//! findings against a committed snapshot so a new rule can land before the
+//! workspace is burned to zero. CI fails on findings missing from the
+//! baseline (regressions) *and* on baseline entries that no longer fire
+//! (stale suppressions that must be pruned).
+
+use crate::check::Report;
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit over the identity of a finding. Line numbers are
+/// deliberately excluded so unrelated edits above a finding do not churn
+/// its fingerprint; the occurrence index disambiguates repeated identical
+/// snippets within one file.
+fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f; // field separator so ("ab","c") != ("a","bc")
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One baselined finding: fingerprint plus the human-readable context that
+/// lets a reviewer audit the committed file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Stable fingerprint (`fp()` of the live finding).
+    pub fingerprint: String,
+    /// Rule id, for the audit trail.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Trimmed source line at capture time.
+    pub snippet: String,
+}
+
+/// Computes the stable fingerprint for one active finding.
+pub fn fp(rule: &str, rel_path: &str, snippet: &str, occurrence: usize) -> String {
+    format!(
+        "{:016x}",
+        fnv1a(&[rule, rel_path, snippet.trim(), &occurrence.to_string()])
+    )
+}
+
+/// All active (non-waived) findings of a report, fingerprinted in report
+/// order. Occurrence indexes count identical (rule, file, snippet) triples
+/// over *all* findings — waived included — so a finding's fingerprint does
+/// not shift when a sibling gains or loses a waiver (matches the JSON
+/// report's `fingerprint` field exactly).
+pub fn fingerprints(report: &Report) -> Vec<BaselineEntry> {
+    let mut seen: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    let mut out = Vec::new();
+    for file in &report.files {
+        for f in &file.findings {
+            let key = (
+                f.rule.clone(),
+                file.rel_path.clone(),
+                f.snippet.trim().to_string(),
+            );
+            let occ = seen.entry(key).and_modify(|c| *c += 1).or_insert(0);
+            if f.waived {
+                continue;
+            }
+            out.push(BaselineEntry {
+                fingerprint: fp(&f.rule, &file.rel_path, &f.snippet, *occ),
+                rule: f.rule.clone(),
+                file: file.rel_path.clone(),
+                snippet: f.snippet.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Serializes a baseline to the committed JSON document.
+pub fn to_json(entries: &[BaselineEntry]) -> Value {
+    Value::Object(vec![
+        ("privlint_baseline_version".to_string(), Value::Number(1.0)),
+        (
+            "findings".to_string(),
+            Value::Array(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Value::Object(vec![
+                            (
+                                "fingerprint".to_string(),
+                                Value::String(e.fingerprint.clone()),
+                            ),
+                            ("rule".to_string(), Value::String(e.rule.clone())),
+                            ("file".to_string(), Value::String(e.file.clone())),
+                            ("snippet".to_string(), Value::String(e.snippet.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a committed baseline document.
+pub fn from_json(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let Value::Object(fields) = &value else {
+        return Err("baseline: top level must be an object".to_string());
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let Some(Value::Array(items)) = get("findings") else {
+        return Err("baseline: missing `findings` array".to_string());
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let Value::Object(f) = item else {
+            return Err("baseline: each finding must be an object".to_string());
+        };
+        let field = |name: &str| -> Result<String, String> {
+            f.iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| match v {
+                    Value::String(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| format!("baseline: finding missing string field `{name}`"))
+        };
+        out.push(BaselineEntry {
+            fingerprint: field("fingerprint")?,
+            rule: field("rule")?,
+            file: field("file")?,
+            snippet: field("snippet")?,
+        });
+    }
+    Ok(out)
+}
+
+/// The verdict of comparing live findings against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Live active findings not in the baseline — regressions.
+    pub new_findings: Vec<BaselineEntry>,
+    /// Baseline entries that no longer fire — stale, must be pruned.
+    pub stale_entries: Vec<BaselineEntry>,
+    /// Count of live findings the baseline covers.
+    pub matched: usize,
+}
+
+impl BaselineDiff {
+    /// CI passes only when there is nothing new and nothing stale.
+    pub fn is_clean(&self) -> bool {
+        self.new_findings.is_empty() && self.stale_entries.is_empty()
+    }
+}
+
+/// Compares live active findings against the committed baseline.
+pub fn diff(live: &[BaselineEntry], committed: &[BaselineEntry]) -> BaselineDiff {
+    let live_fps: std::collections::BTreeSet<&str> =
+        live.iter().map(|e| e.fingerprint.as_str()).collect();
+    let committed_fps: std::collections::BTreeSet<&str> =
+        committed.iter().map(|e| e.fingerprint.as_str()).collect();
+    BaselineDiff {
+        new_findings: live
+            .iter()
+            .filter(|e| !committed_fps.contains(e.fingerprint.as_str()))
+            .cloned()
+            .collect(),
+        stale_entries: committed
+            .iter()
+            .filter(|e| !live_fps.contains(e.fingerprint.as_str()))
+            .cloned()
+            .collect(),
+        matched: live
+            .iter()
+            .filter(|e| committed_fps.contains(e.fingerprint.as_str()))
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::lint_source;
+    use crate::check::Report;
+
+    fn report_for(src: &str) -> Report {
+        Report {
+            files: vec![lint_source("crates/engine/src/a.rs", src)],
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_under_line_drift() {
+        let a = report_for("fn f() { m.lock().unwrap(); }\n");
+        let b = report_for("// a new comment above\n\nfn f() { m.lock().unwrap(); }\n");
+        let fa = fingerprints(&a);
+        let fb = fingerprints(&b);
+        assert_eq!(fa.len(), 1);
+        assert_eq!(fa[0].fingerprint, fb[0].fingerprint);
+    }
+
+    #[test]
+    fn identical_snippets_get_distinct_occurrence_fingerprints() {
+        let src = "fn f() { m.lock().unwrap(); }\nfn g() { m.lock().unwrap(); }\n";
+        let fps = fingerprints(&report_for(src));
+        assert_eq!(fps.len(), 2);
+        assert_ne!(fps[0].fingerprint, fps[1].fingerprint);
+    }
+
+    #[test]
+    fn roundtrip_and_diff() {
+        let live = fingerprints(&report_for("fn f() { m.lock().unwrap(); }\n"));
+        let text = serde_json::to_string_pretty(&to_json(&live)).unwrap();
+        let committed = from_json(&text).unwrap();
+        assert_eq!(live, committed);
+        let d = diff(&live, &committed);
+        assert!(d.is_clean());
+        assert_eq!(d.matched, 1);
+        // Empty baseline → the finding is new; empty live → entry is stale.
+        let d = diff(&live, &[]);
+        assert_eq!(d.new_findings.len(), 1);
+        assert!(!d.is_clean());
+        let d = diff(&[], &committed);
+        assert_eq!(d.stale_entries.len(), 1);
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn waived_findings_stay_out_of_the_baseline() {
+        let src = "\
+fn f() {
+    // privlint::allow(lock-unwrap): fixture — panic propagation is intended here
+    m.lock().unwrap();
+}
+";
+        assert!(fingerprints(&report_for(src)).is_empty());
+    }
+}

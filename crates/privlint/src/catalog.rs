@@ -147,6 +147,68 @@ exactly after splitting on `_`: `dataset` and `points` are fine, `data` and \
 proof as the reason.",
     },
     RuleInfo {
+        id: "lock-order",
+        summary: "a lock-acquisition cycle, self-reacquisition, or inversion of the declared \
+`lockorder.toml` order, across one level of intra-workspace calls",
+        scope: "library code of every crate; acquisitions are `geometry::sync` \
+`lock_recover`/`read_recover`/`write_recover` calls and bare `.lock()` on a path receiver",
+        motivation: "The engine holds multiple guards at once on its hot path \
+(registration serial → pending → cache → accountant → journal), and ROADMAP \
+item 2 (sharded admission) will multiply the lock surface. Two functions that \
+acquire the same pair of locks in opposite orders deadlock only under \
+contention — the kind of bug that passes every single-threaded test and kills \
+the service in production. The analysis builds the workspace lock graph \
+(guard lifetimes modelled lexically, one level of call resolution, \
+guard-returning helpers like `DatasetEntry::accountant` counted at their call \
+sites) and reports any cycle with both witness paths, plus any edge that \
+inverts the order declared in `lockorder.toml`.",
+        fix: "Acquire locks in the declared global order (see `lockorder.toml` \
+at the workspace root: registration_serial before pending before cache before \
+accountant before the store's journal mutex). Release the outer guard (end \
+its scope or `drop` it) before taking a lock that precedes it in the order. \
+If two locks are provably never held concurrently despite the lexical \
+overlap, waive the witness site with that proof as the reason.",
+    },
+    RuleInfo {
+        id: "charge-release-paths",
+        summary: "a control path that journals a release before its charge, flips the registry \
+before the reregister append, or refunds spend after a journaled charge",
+        scope: "library code of crates/engine, per-function over the branch tree \
+(`if`/`else` chains and `match` arms)",
+        motivation: "The hard-refusal ledger's write-ahead contract (PR 5, \
+extended by the versioned-registration PR): once a charge record is appended \
+and fsynced, the spend must stand on every exit path — released, cached, or \
+errored. The token-level `journal-order` rule checks lexical order only; this \
+analysis enumerates the function's control paths, so a release reachable \
+before the charge through an early branch, or a refund-shaped call reachable \
+after the charge, is caught even when the lexical order looks right. A \
+refunded charge is a privacy violation (budget restored for a value that may \
+have been observed), not an availability gap.",
+        fix: "Journal the charge before any path can release or cache the \
+result, and never refund a journaled charge — on failure after the append, \
+leave the spend standing and return the error. Replay-only code paths that \
+re-apply records without writing may be waived with a reason saying why no \
+journal write happens.",
+    },
+    RuleInfo {
+        id: "wire-field-coverage",
+        summary: "a wire field read via untyped `req`/`get` that never reaches a validation call",
+        scope: "crates/engine/src/protocol.rs and crates/engine/src/query.rs",
+        motivation: "Every request field crosses the trust boundary exactly once, \
+in the decode layer, and PR 2's hardening (range-checked `wire::req_*` \
+helpers, the 2^53 integer bound) only protects fields that actually route \
+through a validator. A field plucked with the untyped accessors and handed \
+straight to the planner re-opens the unvalidated-input path: NaN epsilons, \
+negative radii, or integer-collapsing f64s reach the accountant as if they \
+had been checked. This analysis proves the complement: every literal-named \
+`req`/`get` read is wrapped in a `parse*` call, narrowed with `.as_*()`, \
+pattern-matched, or let-bound into a typed `req_*`/`opt_*` helper.",
+        fix: "Route the field through a typed `wire::req_*`/`opt_*` helper or a \
+`parse*` function, or destructure it with a `match`/`.as_*()` narrowing \
+before use. If a field is intentionally passed through opaquely (e.g. echoed \
+back verbatim), waive the read with that reason.",
+    },
+    RuleInfo {
         id: "malformed-waiver",
         summary: "a `privlint::allow` comment that is unparseable, reasonless, or names an unknown rule",
         scope: "every scanned file",
@@ -162,6 +224,35 @@ and a non-empty reason.",
 /// Looks a rule up by id.
 pub fn find(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Levenshtein distance, for unknown-rule suggestions. Catalog ids are
+/// short, so the O(n·m) two-row form is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest catalog id to a mistyped rule name, when it is close enough
+/// to plausibly be a typo (distance at most half the query's length).
+pub fn suggest(unknown: &str) -> Option<&'static str> {
+    RULES
+        .iter()
+        .map(|r| (edit_distance(unknown, r.id), r.id))
+        .min()
+        .filter(|(d, _)| *d <= unknown.len().div_ceil(2))
+        .map(|(_, id)| id)
 }
 
 /// The full explain text for one rule, as printed by `privlint explain`.
@@ -182,7 +273,10 @@ mod tests {
 
     #[test]
     fn catalog_is_complete_and_unique() {
-        assert!(RULES.len() >= 7, "at least seven enforced rule classes");
+        assert!(
+            RULES.len() >= 12,
+            "twelve enforced rule classes as of privlint v2"
+        );
         let mut ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -193,5 +287,14 @@ mod tests {
         assert!(find("lock-unwrap").is_some());
         assert!(find("no-such").is_none());
         assert!(explain(find("journal-order").unwrap()).contains("fsync"));
+    }
+
+    #[test]
+    fn suggestions_catch_typos_but_not_noise() {
+        assert_eq!(suggest("lock-unwarp"), Some("lock-unwrap"));
+        assert_eq!(suggest("lock-ordr"), Some("lock-order"));
+        assert_eq!(suggest("charge-release-path"), Some("charge-release-paths"));
+        assert_eq!(suggest("wire-feild-coverage"), Some("wire-field-coverage"));
+        assert_eq!(suggest("zzzz"), None);
     }
 }

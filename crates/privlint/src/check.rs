@@ -1,11 +1,13 @@
-//! The check driver: walk the workspace, lex each file, run the rules,
-//! match waivers, and assemble a [`Report`].
+//! The check driver: walk the workspace, lex each file, run the per-file
+//! rules and the global lock-order analysis, match waivers, and assemble a
+//! [`Report`].
 
+use crate::analyses::{self, FileLocks, LockOrderConfig};
 use crate::catalog;
 use crate::lexer;
 use crate::report::snippet_for;
-use crate::rules::{self};
-use crate::scope::{FileScope, SigTokens};
+use crate::rules::{self, Finding};
+use crate::scope::{cfg_test_line_ranges, in_ranges, FileScope, SigTokens};
 use crate::waiver::{self, Waiver};
 use std::collections::BTreeSet;
 use std::fs;
@@ -80,56 +82,93 @@ impl Report {
 
 /// Lints one file's source as if it lived at `rel_path` in the workspace.
 /// This is the whole pipeline minus the filesystem — fixture tests call it
-/// directly.
+/// directly. The global lock-order analysis still runs, seeing only this
+/// one file (enough for single-file cycle fixtures).
 pub fn lint_source(rel_path: &str, src: &str) -> CheckedFile {
-    let scope = FileScope::classify(rel_path);
-    let all = lexer::lex(src);
-    let sig = SigTokens::new(src, &all);
-    let known: BTreeSet<&str> = catalog::RULES.iter().map(|r| r.id).collect();
-    let (mut waivers, malformed) = waiver::collect(src, &all, &sig, &known);
+    lint_sources(&[(rel_path, src)], &LockOrderConfig::empty())
+        .pop()
+        .expect("one input file yields one checked file")
+}
 
-    let mut findings: Vec<ReportedFinding> = Vec::new();
-    for f in rules::run_rules(&scope, &sig) {
-        // A waiver matches when it names the rule and targets the finding's
-        // line. First match wins and is marked used.
-        let matched = waivers
-            .iter_mut()
-            .find(|w| w.rule == f.rule && w.target_line == Some(f.line));
-        let (waived, waiver_reason) = match matched {
-            Some(w) => {
-                w.used = true;
-                (true, Some(w.reason.clone()))
-            }
-            None => (false, None),
-        };
-        findings.push(ReportedFinding {
-            rule: f.rule.to_string(),
-            line: f.line,
-            col: f.col,
-            message: f.message,
-            snippet: snippet_for(src, f.line),
-            waived,
-            waiver_reason,
+/// Lints a set of in-memory sources as one workspace: per-file token rules
+/// and dataflow first, then the cross-file lock-order analysis, then
+/// waiver matching per file.
+pub fn lint_sources(files: &[(&str, &str)], lock_config: &LockOrderConfig) -> Vec<CheckedFile> {
+    // Pass 1: per-file findings, waivers, and lock surfaces.
+    let mut per_file: Vec<(Vec<Finding>, Vec<Waiver>, Vec<ReportedFinding>)> = Vec::new();
+    let mut lock_files: Vec<FileLocks> = Vec::new();
+    let known: BTreeSet<&str> = catalog::RULES.iter().map(|r| r.id).collect();
+    for (rel_path, src) in files {
+        let scope = FileScope::classify(rel_path);
+        let all = lexer::lex(src);
+        let sig = SigTokens::new(src, &all);
+        let (waivers, malformed) = waiver::collect(src, &all, &sig, &known);
+        let findings = rules::run_rules(&scope, &sig);
+        let test_ranges = cfg_test_line_ranges(&sig);
+        lock_files.push(analyses::extract_locks(&scope, &sig, &|line| {
+            !in_ranges(&test_ranges, line)
+        }));
+        // Malformed waivers are findings in their own right, never waivable.
+        let malformed_reported = malformed
+            .into_iter()
+            .map(|m| ReportedFinding {
+                rule: "malformed-waiver".to_string(),
+                line: m.line,
+                col: 1,
+                message: m.message,
+                snippet: snippet_for(src, m.line),
+                waived: false,
+                waiver_reason: None,
+            })
+            .collect();
+        per_file.push((findings, waivers, malformed_reported));
+    }
+
+    // Pass 2: the global lock graph, attributed back to witness files.
+    for (rel_path, finding) in analyses::analyze_locks(&lock_files, lock_config) {
+        if let Some(i) = files.iter().position(|(p, _)| *p == rel_path) {
+            per_file[i].0.push(finding);
+        }
+    }
+
+    // Pass 3: waiver matching and assembly.
+    let mut out = Vec::new();
+    for ((rel_path, src), (mut raw, mut waivers, malformed_reported)) in files.iter().zip(per_file)
+    {
+        raw.sort_by_key(|f| (f.line, f.col));
+        let mut findings: Vec<ReportedFinding> = Vec::new();
+        for f in raw {
+            // A waiver matches when it names the rule and targets the
+            // finding's line. First match wins and is marked used.
+            let matched = waivers
+                .iter_mut()
+                .find(|w| w.rule == f.rule && w.target_line == Some(f.line));
+            let (waived, waiver_reason) = match matched {
+                Some(w) => {
+                    w.used = true;
+                    (true, Some(w.reason.clone()))
+                }
+                None => (false, None),
+            };
+            findings.push(ReportedFinding {
+                rule: f.rule.to_string(),
+                line: f.line,
+                col: f.col,
+                message: f.message,
+                snippet: snippet_for(src, f.line),
+                waived,
+                waiver_reason,
+            });
+        }
+        findings.extend(malformed_reported);
+        findings.sort_by_key(|f| (f.line, f.col, f.rule.clone()));
+        out.push(CheckedFile {
+            rel_path: rel_path.to_string(),
+            findings,
+            waivers,
         });
     }
-    // Malformed waivers are findings in their own right and cannot be waived.
-    for m in malformed {
-        findings.push(ReportedFinding {
-            rule: "malformed-waiver".to_string(),
-            line: m.line,
-            col: 1,
-            message: m.message,
-            snippet: snippet_for(src, m.line),
-            waived: false,
-            waiver_reason: None,
-        });
-    }
-    findings.sort_by_key(|f| (f.line, f.col, f.rule.clone()));
-    CheckedFile {
-        rel_path: rel_path.to_string(),
-        findings,
-        waivers,
-    }
+    out
 }
 
 /// Directories never scanned: build output, vendored shims (external API
@@ -154,11 +193,25 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Walks `root` and lints every Rust source file in scope.
+/// Loads the declared lock order from `root/lockorder.toml`; a missing
+/// file means cycle detection only, a malformed one is an error so CI
+/// cannot silently drop the order check.
+pub fn load_lock_config(root: &Path) -> io::Result<LockOrderConfig> {
+    match fs::read_to_string(root.join("lockorder.toml")) {
+        Ok(text) => LockOrderConfig::parse_toml(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(LockOrderConfig::empty()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Walks `root` and lints every Rust source file in scope, against the
+/// lock order declared in `root/lockorder.toml` when present.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let lock_config = load_lock_config(root)?;
     let mut paths = Vec::new();
     walk(root, &mut paths)?;
-    let mut files = Vec::new();
+    let mut sources = Vec::new();
     for path in paths {
         let rel = path
             .strip_prefix(root)
@@ -168,11 +221,15 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
             .collect::<Vec<_>>()
             .join("/");
         let src = fs::read_to_string(&path)?;
-        let checked = lint_source(&rel, &src);
-        // Keep every file in the report (files_scanned counts them), but the
-        // interesting ones are those with findings or waivers.
-        files.push(checked);
+        sources.push((rel, src));
     }
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    // Keep every file in the report (files_scanned counts them), but the
+    // interesting ones are those with findings or waivers.
+    let mut files = lint_sources(&borrowed, &lock_config);
     crate::report::sort_files(&mut files);
     Ok(Report { files })
 }

@@ -296,7 +296,10 @@ pub fn lex(src: &str) -> Vec<Token> {
                     lx.bump();
                 }
                 let ident = &lx.src[start..lx.i];
-                if matches!(ident, b"r" | b"b" | b"br" | b"rb") {
+                // The string prefixes Rust actually has: `r`, `b`, `br`.
+                // (`rb"…"` is NOT a raw byte string — it lexes as the
+                // identifier `rb` followed by a plain string.)
+                if matches!(ident, b"r" | b"b" | b"br") {
                     lx.maybe_string_suffix(ident)
                 } else {
                     TokKind::Ident

@@ -23,12 +23,18 @@
 //! cargo run -p privcluster-privlint -- list-waivers --markdown
 //! ```
 
+pub mod analyses;
+pub mod baseline;
 pub mod catalog;
 pub mod check;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scope;
+pub mod syntax;
 pub mod waiver;
 
-pub use check::{check_workspace, find_workspace_root, lint_source, CheckedFile, Report};
+pub use check::{
+    check_workspace, find_workspace_root, lint_source, lint_sources, load_lock_config, CheckedFile,
+    Report,
+};

@@ -12,13 +12,13 @@
 //! waiver syntax). `list-waivers` prints every inline waiver with its
 //! reason, as text or as the committed `privlint-waivers.md` markdown.
 
-use privcluster_privlint::{catalog, check, report};
+use privcluster_privlint::{baseline, catalog, check, report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  privlint check [--deny] [--json <path|->] [--root <dir>]\n  privlint explain <rule> | --list\n  privlint list-waivers [--markdown] [--root <dir>]"
+        "usage:\n  privlint check [--deny] [--json <path|->] [--baseline <file>] [--write-baseline <file>] [--root <dir>]\n  privlint explain <rule> | --list\n  privlint list-waivers [--markdown] [--root <dir>]"
     );
     ExitCode::from(2)
 }
@@ -41,12 +41,16 @@ fn main() -> ExitCode {
         "check" => {
             let mut deny = false;
             let mut json: Option<String> = None;
+            let mut baseline_path: Option<String> = None;
+            let mut write_baseline: Option<String> = None;
             let mut root: Option<PathBuf> = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--deny" => deny = true,
                     "--json" => json = it.next().cloned(),
+                    "--baseline" => baseline_path = it.next().cloned(),
+                    "--write-baseline" => write_baseline = it.next().cloned(),
                     "--root" => root = it.next().cloned().map(PathBuf::from),
                     _ => return usage(),
                 }
@@ -76,7 +80,62 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
-            if deny && rep.active_count() > 0 {
+            if let Some(path) = write_baseline {
+                let entries = baseline::fingerprints(&rep);
+                let doc = serde_json::to_string_pretty(&baseline::to_json(&entries))
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                if let Err(e) = std::fs::write(&path, doc + "\n") {
+                    eprintln!("privlint: cannot write baseline to {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "privlint: wrote {} baseline entr(ies) to {path}",
+                    entries.len()
+                );
+            }
+            let mut baseline_failed = false;
+            let had_baseline = baseline_path.is_some();
+            if let Some(path) = baseline_path {
+                let committed = match std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| baseline::from_json(&text))
+                {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("privlint: cannot load baseline {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let d = baseline::diff(&baseline::fingerprints(&rep), &committed);
+                for e in &d.new_findings {
+                    eprintln!(
+                        "privlint: NEW finding not in baseline: [{}] {} — {}",
+                        e.rule, e.file, e.snippet
+                    );
+                }
+                for e in &d.stale_entries {
+                    eprintln!(
+                        "privlint: STALE baseline entry (no longer fires, prune it): [{}] {} — {}",
+                        e.rule, e.file, e.snippet
+                    );
+                }
+                println!(
+                    "privlint: baseline {path}: {} matched, {} new, {} stale",
+                    d.matched,
+                    d.new_findings.len(),
+                    d.stale_entries.len()
+                );
+                baseline_failed = !d.is_clean();
+            }
+            if baseline_failed {
+                eprintln!(
+                    "privlint: failing: baseline drift (new findings must be fixed or waived; stale entries must be pruned with --write-baseline)"
+                );
+                return ExitCode::FAILURE;
+            }
+            // With a baseline, `--deny` means "no findings beyond the
+            // baseline" (checked above); without one it means zero active.
+            if deny && !had_baseline && rep.active_count() > 0 {
                 eprintln!(
                     "privlint: failing (--deny): {} active finding(s); run `privlint explain <rule>` for the invariant behind each",
                     rep.active_count()
@@ -98,7 +157,13 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 None => {
-                    eprintln!("privlint: unknown rule `{rule}`; known rules:");
+                    match catalog::suggest(rule) {
+                        Some(close) => {
+                            eprintln!("privlint: unknown rule `{rule}` — did you mean `{close}`?")
+                        }
+                        None => eprintln!("privlint: unknown rule `{rule}`"),
+                    }
+                    eprintln!("known rules:");
                     for r in catalog::RULES {
                         eprintln!("  {}", r.id);
                     }

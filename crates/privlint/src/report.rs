@@ -1,8 +1,10 @@
 //! Report assembly: the machine-readable JSON document, the human console
 //! rendering, and the committed waivers listing (`privlint-waivers.md`).
 
+use crate::baseline;
 use crate::check::{CheckedFile, Report};
 use serde::Value;
+use std::collections::BTreeMap;
 
 fn s(x: impl Into<String>) -> Value {
     Value::String(x.into())
@@ -26,8 +28,18 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
 pub fn to_json(report: &Report) -> Value {
     let mut findings = Vec::new();
     let mut waivers = Vec::new();
+    // Occurrence counters make fingerprints of identical snippets distinct;
+    // counting all findings (waived included) keeps a finding's fingerprint
+    // stable when a sibling gains or loses a waiver.
+    let mut occurrences: BTreeMap<(String, String, String), usize> = BTreeMap::new();
     for file in &report.files {
         for f in &file.findings {
+            let key = (
+                f.rule.clone(),
+                file.rel_path.clone(),
+                f.snippet.trim().to_string(),
+            );
+            let occ = occurrences.entry(key).and_modify(|c| *c += 1).or_insert(0);
             let mut entry = vec![
                 ("rule", s(f.rule.clone())),
                 ("file", s(file.rel_path.clone())),
@@ -35,6 +47,10 @@ pub fn to_json(report: &Report) -> Value {
                 ("col", n(f.col as usize)),
                 ("message", s(f.message.clone())),
                 ("snippet", s(f.snippet.clone())),
+                (
+                    "fingerprint",
+                    s(baseline::fp(&f.rule, &file.rel_path, &f.snippet, *occ)),
+                ),
                 ("waived", Value::Bool(f.waived)),
             ];
             if let Some(reason) = &f.waiver_reason {

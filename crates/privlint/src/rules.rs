@@ -46,6 +46,8 @@ pub fn run_rules(scope: &FileScope, sig: &SigTokens<'_>) -> Vec<Finding> {
     wire_int_cast(scope, sig, &lib, &mut findings);
     journal_order(scope, sig, &lib, &mut findings);
     event_payload_leak(scope, sig, &lib, &mut findings);
+    crate::analyses::charge_release_paths(scope, sig, &lib, &mut findings);
+    crate::analyses::wire_field_coverage(scope, sig, &lib, &mut findings);
     findings.sort_by_key(|f| (f.line, f.col));
     findings
 }
@@ -498,7 +500,16 @@ mod tests {
     fn journal_order_flags_release_before_charge_only() {
         let bad = "fn commit(s: &Store) { s.append(StoreRecord::Release(r)); s.append(StoreRecord::Charge(c)); }";
         let good = "fn commit(s: &Store) { s.append(StoreRecord::Charge(c)); s.append(StoreRecord::Release(r)); }";
-        assert_eq!(check("crates/engine/src/a.rs", bad).len(), 1);
+        // A straight-line inversion trips both the token-level rule and the
+        // path-sensitive `charge-release-paths` generalization.
+        let f = check("crates/engine/src/a.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "journal-order").count(), 1);
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == "charge-release-paths")
+                .count(),
+            1
+        );
         assert_eq!(check("crates/engine/src/a.rs", good).len(), 0);
         // split across two functions: no ordering constraint
         let split = "fn a(s: &Store) { s.append(StoreRecord::Release(r)); }\nfn b(s: &Store) { s.append(StoreRecord::Charge(c)); }";
@@ -510,8 +521,13 @@ mod tests {
         let bad = "fn rr(s: &Store, g: &Registry) { g.push_version(e); s.append(StoreRecord::Reregister(r)); }";
         let good = "fn rr(s: &Store, g: &Registry) { s.append(StoreRecord::Reregister(r)); g.push_version(e); }";
         let f = check("crates/engine/src/a.rs", bad);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "journal-order");
+        assert_eq!(f.iter().filter(|f| f.rule == "journal-order").count(), 1);
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == "charge-release-paths")
+                .count(),
+            1
+        );
         assert_eq!(check("crates/engine/src/a.rs", good).len(), 0);
         // A replay path that flips the version without journaling anything
         // (the record is already durable) is not this rule's business.
@@ -520,6 +536,13 @@ mod tests {
         // The charge/release and reregister/push_version checks are
         // independent: one function can trip both.
         let both = "fn f(s: &Store, g: &Registry) { s.append(StoreRecord::Release(r)); g.push_version(e); s.append(StoreRecord::Charge(c)); s.append(StoreRecord::Reregister(rr)); }";
-        assert_eq!(check("crates/engine/src/a.rs", both).len(), 2);
+        let f = check("crates/engine/src/a.rs", both);
+        assert_eq!(f.iter().filter(|f| f.rule == "journal-order").count(), 2);
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == "charge-release-paths")
+                .count(),
+            2
+        );
     }
 }

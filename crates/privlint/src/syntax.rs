@@ -1,0 +1,451 @@
+//! A brace-matched item/function tree over the significant-token stream —
+//! the syntax layer the workspace-wide analyses ([`crate::analyses`]) run
+//! on. This is deliberately **not** a Rust grammar: it recovers exactly the
+//! shapes the analyses need (function boundaries with innermost token
+//! attribution, call expressions with receiver paths, lock-guard lifetimes)
+//! and nothing more, so it stays total on arbitrary token streams the same
+//! way the lexer does.
+//!
+//! The guard-lifetime model is lexical, matching the Rust 2021 drop rules
+//! closely enough for this workspace's idioms:
+//!
+//! * a `let`-bound guard lives to the close of its enclosing block (or an
+//!   explicit `drop(name)` of the binding);
+//! * a temporary guard lives to the end of its statement — the next `;` at
+//!   the same depth — **except** when the statement is an `if let`/`while
+//!   let`/`match` head, where the scrutinee temporary lives through the
+//!   attached block (and any `else` chain), exactly as rustc extends it.
+
+use crate::lexer::TokKind;
+use crate::scope::{fn_bodies, SigTokens};
+
+/// One function body, with the body ranges of any *nested* `fn` items so
+/// tokens can be attributed to their innermost function only.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// The function's name.
+    pub name: String,
+    /// Significant-token index of the opening `{`.
+    pub body_start: usize,
+    /// Significant-token index of the closing `}`.
+    pub body_end: usize,
+    /// Body ranges (inclusive) of functions nested inside this one — e.g. a
+    /// drop-guard's `fn drop` defined inline. Their tokens belong to them.
+    pub nested: Vec<(usize, usize)>,
+}
+
+impl FnNode {
+    /// Whether significant-token index `i` belongs to this function's own
+    /// body — inside it, but not inside any nested function.
+    pub fn owns(&self, i: usize) -> bool {
+        i > self.body_start
+            && i < self.body_end
+            && !self.nested.iter().any(|(s, e)| (*s..=*e).contains(&i))
+    }
+}
+
+/// Builds the function tree: every `fn` body, each knowing the spans of the
+/// functions nested inside it.
+pub fn fn_tree(sig: &SigTokens<'_>) -> Vec<FnNode> {
+    let bodies = fn_bodies(sig);
+    bodies
+        .iter()
+        .map(|b| {
+            let nested = bodies
+                .iter()
+                .filter(|o| o.body_start > b.body_start && o.body_end < b.body_end)
+                .map(|o| (o.body_start, o.body_end))
+                .collect();
+            FnNode {
+                name: b.name.clone(),
+                body_start: b.body_start,
+                body_end: b.body_end,
+                nested,
+            }
+        })
+        .collect()
+}
+
+/// A call expression found inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Significant-token index of the callee-name token.
+    pub idx: usize,
+    /// The callee's final name segment (`append` for `store.append(…)`,
+    /// `lock_recover` for `sync::lock_recover(…)`).
+    pub name: String,
+    /// Whether this is a method call (`recv.name(…)`).
+    pub method: bool,
+    /// For a method call on a simple path receiver (`self.store.append(…)`),
+    /// the receiver's last ident (`store`). `None` for chained receivers
+    /// (`f().g(…)`) where the path is not recoverable lexically.
+    pub recv_last: Option<String>,
+    /// Significant-token index of the argument list's `(`.
+    pub args_open: usize,
+    /// Significant-token index of the matching `)`.
+    pub args_close: usize,
+}
+
+/// Extracts every call expression in `node`'s own tokens (nested functions
+/// excluded). Macro invocations (`name!(…)`) are not calls; definitions
+/// (`fn name(…)`) are not calls.
+pub fn calls_in(sig: &SigTokens<'_>, node: &FnNode) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in (node.body_start + 1)..node.body_end {
+        if !node.owns(i) || sig.tok(i).kind != TokKind::Ident {
+            continue;
+        }
+        if !sig.is_punct(i + 1, "(") {
+            continue;
+        }
+        if i > 0 && (sig.is_ident(i - 1, "fn") || sig.is_punct(i - 1, "!")) {
+            continue;
+        }
+        // `name!(…)` — the `!` sits between the name and the `(`, so the
+        // check above covers `ident ! (` via the *previous* token of `(`;
+        // here we also skip `ident !` directly.
+        if sig.is_punct(i + 1, "!") {
+            continue;
+        }
+        let Some(args_close) = sig.matching_close(i + 1, "(", ")") else {
+            continue;
+        };
+        let method = i > 0 && sig.is_punct(i - 1, ".");
+        let recv_last = if method {
+            receiver_last_ident(sig, i - 1)
+        } else {
+            None
+        };
+        out.push(Call {
+            idx: i,
+            name: sig.text(i).to_string(),
+            method,
+            recv_last,
+            args_open: i + 1,
+            args_close,
+        });
+    }
+    out
+}
+
+/// For a method call whose `.` sits at `dot`, the last ident of the
+/// receiver path — provided the receiver is a simple path (`self.a.b`),
+/// not a chained expression (`f().b`, `x[0].b`).
+fn receiver_last_ident(sig: &SigTokens<'_>, dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let prev = dot - 1;
+    if sig.tok(prev).kind == TokKind::Ident {
+        return Some(sig.text(prev).to_string());
+    }
+    None
+}
+
+/// How a guard produced at some site is held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hold {
+    /// `let g = …;` — held to the enclosing block's close (or `drop(g)`).
+    LetBound,
+    /// Not bound — held to the end of the statement (with the `if let` /
+    /// `match` scrutinee extension).
+    Temporary,
+}
+
+/// Whether the call at `call.idx` is the initializer of a `let` binding
+/// (`let g = call(…)`, `let mut g = call(…)`), returning the bound name.
+/// The callee may carry a `path::` prefix; `&`/`*` sigils are looked
+/// through.
+pub fn let_binding_of(sig: &SigTokens<'_>, call: &Call) -> Option<String> {
+    // Walk back over the callee's path prefix (`a::b::name`) or method
+    // receiver path (`entry.accountant`) and any leading sigils to find the
+    // token before the initializer expression.
+    let mut j = call.idx;
+    while j >= 2
+        && (sig.is_punct(j - 1, "::") || sig.is_punct(j - 1, "."))
+        && sig.tok(j - 2).kind == TokKind::Ident
+    {
+        j -= 2;
+    }
+    while j >= 1
+        && (sig.is_punct(j - 1, "&") || sig.is_punct(j - 1, "*") || sig.is_ident(j - 1, "mut"))
+    {
+        j -= 1;
+    }
+    if j < 1 || !sig.is_punct(j - 1, "=") {
+        return None;
+    }
+    let eq = j - 1;
+    // `let name =` or `let mut name =`
+    if eq >= 2 && sig.tok(eq - 1).kind == TokKind::Ident && sig.is_ident(eq - 2, "let") {
+        return Some(sig.text(eq - 1).to_string());
+    }
+    if eq >= 3
+        && sig.tok(eq - 1).kind == TokKind::Ident
+        && sig.is_ident(eq - 2, "mut")
+        && sig.is_ident(eq - 3, "let")
+    {
+        return Some(sig.text(eq - 1).to_string());
+    }
+    None
+}
+
+/// The (inclusive) significant-token index at which a guard produced by
+/// `call` stops being held, under the lexical model in the module docs.
+/// `limit` is the enclosing function's `body_end`.
+pub fn hold_end(sig: &SigTokens<'_>, call: &Call, bound: Option<&str>, limit: usize) -> usize {
+    match bound {
+        Some(name) => {
+            // To the enclosing block's close — the innermost `{` open at
+            // the call site — or an explicit `drop(name)`, whichever first.
+            let block_close = enclosing_block_close(sig, call.idx, limit);
+            let mut i = call.args_close + 1;
+            while i + 3 <= block_close {
+                if sig.is_ident(i, "drop")
+                    && sig.is_punct(i + 1, "(")
+                    && sig.is_ident(i + 2, name)
+                    && sig.is_punct(i + 3, ")")
+                {
+                    return i + 3;
+                }
+                i += 1;
+            }
+            block_close
+        }
+        None => {
+            // Temporary: end of statement. Scan forward from the end of the
+            // call expression (letting a trailing method chain extend it);
+            // a `{` at the statement's own depth means the temporary is a
+            // control-flow scrutinee and lives through the block chain.
+            let mut i = call.args_close + 1;
+            let mut depth = 0i32;
+            while i < limit {
+                if depth == 0 {
+                    if sig.is_punct(i, ";") || sig.is_punct(i, ",") {
+                        return i;
+                    }
+                    if sig.is_punct(i, "{") {
+                        // Scrutinee extension: through this block, and any
+                        // `else {…}` / `else if … {…}` chain after it.
+                        let mut close = match sig.matching_close(i, "{", "}") {
+                            Some(c) => c,
+                            None => return limit,
+                        };
+                        while sig.is_ident(close + 1, "else") {
+                            let mut k = close + 2;
+                            // `else if …` — skip the condition to its `{`.
+                            while k < limit && !sig.is_punct(k, "{") {
+                                if sig.is_punct(k, "(") {
+                                    k = sig.matching_close(k, "(", ")").map_or(limit, |c| c + 1);
+                                    continue;
+                                }
+                                k += 1;
+                            }
+                            match sig.matching_close(k, "{", "}") {
+                                Some(c) => close = c,
+                                None => return limit,
+                            }
+                        }
+                        return close;
+                    }
+                    if sig.is_punct(i, ")") || sig.is_punct(i, "]") || sig.is_punct(i, "}") {
+                        // The temporary was an argument or tail expression —
+                        // it dies at the enclosing delimiter.
+                        return i;
+                    }
+                }
+                if sig.is_punct(i, "(") || sig.is_punct(i, "[") {
+                    depth += 1;
+                } else if sig.is_punct(i, ")") || sig.is_punct(i, "]") {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+            limit
+        }
+    }
+}
+
+/// The close index of the innermost `{ … }` block containing `i`, bounded
+/// by `limit` (the function's own closing brace).
+fn enclosing_block_close(sig: &SigTokens<'_>, i: usize, limit: usize) -> usize {
+    // Scan back for `{` whose matching close is past `i`; innermost wins.
+    let mut best = limit;
+    let mut j = i;
+    let mut depth = 0i32;
+    while j > 0 {
+        j -= 1;
+        if sig.is_punct(j, "}") {
+            depth += 1;
+        } else if sig.is_punct(j, "{") {
+            if depth == 0 {
+                if let Some(close) = sig.matching_close(j, "{", "}") {
+                    if close >= i {
+                        best = close.min(limit);
+                    }
+                }
+                break;
+            }
+            depth -= 1;
+        }
+    }
+    best
+}
+
+/// The first path argument of a call, reduced to its last ident — the lock
+/// *class* for an acquisition like `lock_recover(&self.pending)` (`pending`)
+/// or `lock_recover(&slots[i])` (`slots`).
+pub fn first_arg_class(sig: &SigTokens<'_>, call: &Call) -> Option<String> {
+    let mut last: Option<String> = None;
+    let mut i = call.args_open + 1;
+    while i < call.args_close {
+        if sig.is_punct(i, "&") || sig.is_punct(i, "*") || sig.is_ident(i, "mut") {
+            i += 1;
+            continue;
+        }
+        if sig.tok(i).kind == TokKind::Ident || sig.tok(i).kind == TokKind::Number {
+            last = Some(sig.text(i).to_string());
+            if sig.is_punct(i + 1, ".") || sig.is_punct(i + 1, "::") {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn with_sig<R>(src: &str, f: impl FnOnce(&SigTokens<'_>) -> R) -> R {
+        let toks = lex(src);
+        let sig = SigTokens::new(src, &toks);
+        f(&sig)
+    }
+
+    #[test]
+    fn nested_fn_tokens_are_not_owned_by_outer() {
+        let src = "fn outer() { struct G; impl Drop for G { fn drop(&mut self) { inner_call(); } } outer_call(); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let outer = tree.iter().find(|f| f.name == "outer").unwrap();
+            let calls = calls_in(sig, outer);
+            let names: Vec<_> = calls.iter().map(|c| c.name.as_str()).collect();
+            assert!(names.contains(&"outer_call"));
+            assert!(!names.contains(&"inner_call"), "nested fn body leaked");
+            let drop_fn = tree.iter().find(|f| f.name == "drop").unwrap();
+            let inner: Vec<_> = calls_in(sig, drop_fn).into_iter().map(|c| c.name).collect();
+            assert_eq!(inner, vec!["inner_call"]);
+        });
+    }
+
+    #[test]
+    fn method_calls_carry_receiver_and_macros_are_skipped() {
+        let src = "fn f() { self.store.append(x); event!(a, b); g().chained(); free(1); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let calls = calls_in(sig, &tree[0]);
+            let append = calls.iter().find(|c| c.name == "append").unwrap();
+            assert!(append.method);
+            assert_eq!(append.recv_last.as_deref(), Some("store"));
+            let chained = calls.iter().find(|c| c.name == "chained").unwrap();
+            assert_eq!(chained.recv_last, None);
+            assert!(calls.iter().any(|c| c.name == "free" && !c.method));
+            assert!(
+                !calls.iter().any(|c| c.name == "event"),
+                "macro counted as call"
+            );
+        });
+    }
+
+    #[test]
+    fn let_binding_and_block_hold() {
+        let src = "fn f() { let mut g = lock_recover(&self.pending); { let h = sync::lock_recover(&self.cache); use_it(h); } done(); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let calls = calls_in(sig, &tree[0]);
+            let outer = &calls[0];
+            assert_eq!(let_binding_of(sig, outer).as_deref(), Some("g"));
+            assert_eq!(first_arg_class(sig, outer).as_deref(), Some("pending"));
+            let inner = calls
+                .iter()
+                .filter(|c| c.name == "lock_recover")
+                .nth(1)
+                .unwrap();
+            assert_eq!(let_binding_of(sig, inner).as_deref(), Some("h"));
+            // inner guard dies at its block close, before `done()`
+            let done = calls.iter().find(|c| c.name == "done").unwrap();
+            let inner_end = hold_end(sig, inner, Some("h"), tree[0].body_end);
+            assert!(inner_end < done.idx);
+            let outer_end = hold_end(sig, outer, Some("g"), tree[0].body_end);
+            assert!(outer_end > done.idx);
+        });
+    }
+
+    #[test]
+    fn drop_call_ends_let_bound_hold_early() {
+        let src = "fn f() { let g = lock_recover(&self.a); drop(g); later(); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let calls = calls_in(sig, &tree[0]);
+            let acq = &calls[0];
+            let later = calls.iter().find(|c| c.name == "later").unwrap();
+            let end = hold_end(sig, acq, Some("g"), tree[0].body_end);
+            assert!(end < later.idx, "drop(g) must end the hold");
+        });
+    }
+
+    #[test]
+    fn temporary_holds_to_statement_end_and_through_if_let_blocks() {
+        let src = "fn f() { lock_recover(&self.a).touch(); after(); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let calls = calls_in(sig, &tree[0]);
+            let acq = &calls[0];
+            let after = calls.iter().find(|c| c.name == "after").unwrap();
+            let end = hold_end(sig, acq, None, tree[0].body_end);
+            assert!(end < after.idx, "statement temporary leaked past `;`");
+        });
+        // if-let scrutinee: lives through the attached block…
+        let src =
+            "fn f() { if let Some(v) = lock_recover(&self.a).get(k) { inside(); } outside(); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let calls = calls_in(sig, &tree[0]);
+            let acq = calls.iter().find(|c| c.name == "lock_recover").unwrap();
+            let inside = calls.iter().find(|c| c.name == "inside").unwrap();
+            let outside = calls.iter().find(|c| c.name == "outside").unwrap();
+            let end = hold_end(sig, acq, None, tree[0].body_end);
+            assert!(end > inside.idx, "scrutinee must live through the block");
+            assert!(end < outside.idx, "scrutinee must die at the block close");
+        });
+        // …and through an `else` chain.
+        let src =
+            "fn f() { if let Some(v) = lock_recover(&self.a).get(k) { a(); } else { b(); } c(); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let calls = calls_in(sig, &tree[0]);
+            let acq = calls.iter().find(|c| c.name == "lock_recover").unwrap();
+            let b = calls.iter().find(|c| c.name == "b").unwrap();
+            let c = calls.iter().find(|c| c.name == "c").unwrap();
+            let end = hold_end(sig, acq, None, tree[0].body_end);
+            assert!(end > b.idx && end < c.idx);
+        });
+    }
+
+    #[test]
+    fn argument_temporary_dies_at_enclosing_delimiter() {
+        let src = "fn f() { handle(lock_recover(&self.a).len(), other()); tail(); }";
+        with_sig(src, |sig| {
+            let tree = fn_tree(sig);
+            let calls = calls_in(sig, &tree[0]);
+            let acq = calls.iter().find(|c| c.name == "lock_recover").unwrap();
+            let other = calls.iter().find(|c| c.name == "other").unwrap();
+            let end = hold_end(sig, acq, None, tree[0].body_end);
+            assert!(end <= other.idx, "argument temporary must die at `,`");
+        });
+    }
+}

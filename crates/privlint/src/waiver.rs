@@ -248,6 +248,74 @@ let x = m.lock().unwrap();
     }
 
     #[test]
+    fn stacked_waivers_separated_by_a_blank_line_detach_independently() {
+        // The blank line orphans the first waiver (it suppresses nothing and
+        // is reported unused); the second still binds to the code below it.
+        let src = "\
+// privlint::allow(lock-unwrap): stale — code moved away
+
+// privlint::allow(entropy-source): timing is diagnostics only
+let x = now();
+";
+        let (ws, bad) = run(src);
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].target_line, None);
+        assert_eq!(ws[1].target_line, Some(4));
+        // Two adjacent stacked waivers (no blank between) both bind to the
+        // same target line, and neither absorbs the other into its reason.
+        let adjacent = "\
+// privlint::allow(lock-unwrap): reason one
+// privlint::allow(entropy-source): reason two
+let x = m.lock().unwrap();
+";
+        let (ws, bad) = run(adjacent);
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].target_line, Some(3));
+        assert_eq!(ws[1].target_line, Some(3));
+        assert_eq!(ws[0].reason, "reason one");
+        assert_eq!(ws[1].reason, "reason two");
+    }
+
+    #[test]
+    fn waiver_on_the_last_line_of_the_file() {
+        // Trailing waiver on the file's final line, no trailing newline:
+        // targets its own line.
+        let src = "let a = m.lock().unwrap(); // privlint::allow(lock-unwrap): last line";
+        let (ws, bad) = run(src);
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].target_line, Some(1));
+        // Standalone waiver as the very last line: nothing below to bind to,
+        // so it resolves to no target instead of panicking or mis-binding.
+        let dangling = "let a = 1;\n// privlint::allow(lock-unwrap): nothing follows";
+        let (ws, bad) = run(dangling);
+        assert!(bad.is_empty());
+        assert_eq!(ws[0].target_line, None);
+    }
+
+    #[test]
+    fn crlf_sources_parse_and_bind_waivers() {
+        // CRLF line endings: the `\r` rides along inside the line-comment
+        // token and must not corrupt the rule name or the reason.
+        let src =
+            "// privlint::allow(lock-unwrap): windows checkout\r\nlet x = m.lock().unwrap();\r\n";
+        let (ws, bad) = run(src);
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, "lock-unwrap");
+        assert_eq!(ws[0].reason, "windows checkout");
+        assert_eq!(ws[0].target_line, Some(2));
+        // Trailing form under CRLF, with a continuation comment after it.
+        let trailing = "let a = m.lock().unwrap(); // privlint::allow(lock-unwrap): fine\r\n// unrelated\r\nlet b = 2;\r\n";
+        let (ws, bad) = run(trailing);
+        assert!(bad.is_empty());
+        assert_eq!(ws[0].target_line, Some(1));
+        assert_eq!(ws[0].reason, "fine");
+    }
+
+    #[test]
     fn missing_reason_and_unknown_rule_are_malformed() {
         let (ws, bad) = run("// privlint::allow(lock-unwrap)\nlet x = 1;\n");
         assert!(ws.is_empty());

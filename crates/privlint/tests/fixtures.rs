@@ -125,7 +125,7 @@ fn every_fixture_matches_its_markers() {
         .collect();
     names.sort();
     assert!(
-        names.len() >= 24,
+        names.len() >= 40,
         "fixture corpus shrank: {} files",
         names.len()
     );
@@ -169,6 +169,47 @@ fn every_fixture_matches_its_markers() {
         assert!(
             rules_with_hit_fixture.contains(rule.id),
             "rule `{}` has no HIT fixture",
+            rule.id
+        );
+    }
+}
+
+/// Every catalog rule must carry a full fixture kit — a hit, a near-miss,
+/// and a waived case — by the `<rule>_hit.rs` / `<rule>_near_miss*.rs` /
+/// `<rule>_waived.rs` filename convention. The one exception is
+/// `malformed-waiver`, which cannot be waived by design and documents that
+/// with an `_unwaivable.rs` fixture instead. CI runs this test as the
+/// self-fixture check step.
+#[test]
+fn every_rule_has_hit_near_miss_and_waived_fixtures() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let names: Vec<String> = fs::read_dir(&dir)
+        .expect("fixtures directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    let has = |prefix: &str, kind: &str| {
+        names
+            .iter()
+            .any(|n| n.starts_with(&format!("{prefix}_{kind}")))
+    };
+    for rule in privcluster_privlint::catalog::RULES {
+        let prefix = rule.id.replace('-', "_");
+        assert!(has(&prefix, "hit"), "rule `{}` has no hit fixture", rule.id);
+        assert!(
+            has(&prefix, "near_miss"),
+            "rule `{}` has no near-miss fixture",
+            rule.id
+        );
+        let waived_kind = if rule.id == "malformed-waiver" {
+            "unwaivable"
+        } else {
+            "waived"
+        };
+        assert!(
+            has(&prefix, waived_kind),
+            "rule `{}` has no {waived_kind} fixture",
             rule.id
         );
     }

@@ -1,0 +1,23 @@
+//@ lint-as: crates/engine/src/admit.rs
+// Path-sensitive write-ahead violations. The refund: once the charge
+// record is journaled, spend must stand on every exit path — crediting it
+// back on failure is a privacy violation, because the released value may
+// already have been observed.
+
+pub fn charge_then_refund(store: &Store, acct: &Accountant) -> Result<(), Error> {
+    store.append(StoreRecord::Charge(charge))?;
+    let released = release(&charge);
+    if released.is_err() {
+        acct.refund_spend(charge.key()); //~ HIT charge-release-paths
+    }
+    Ok(())
+}
+
+pub fn branch_release_before_charge(store: &Store) -> Result<(), Error> {
+    if cache_warm {
+        store.append(StoreRecord::Release(rel))?; //~ HIT journal-order
+        //~^ HIT charge-release-paths
+    }
+    store.append(StoreRecord::Charge(charge))?;
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//@ lint-as: crates/engine/src/admit.rs
+// Near misses for `charge-release-paths`: no single control path carries
+// the inverted pair, so the path-sensitive rule stays quiet where a purely
+// lexical check would cry wolf.
+
+pub fn exclusive_arms(store: &Store) -> Result<(), Error> {
+    match mode {
+        Mode::Replay => {
+            // The charge path never refunds…
+            store.append(StoreRecord::Charge(restored))?;
+        }
+        Mode::Rollback => {
+            // …and the refund path never charges: no single path carries
+            // both, so there is nothing to flag.
+            acct.refund_spend(key);
+        }
+    }
+    Ok(())
+}
+
+pub fn error_leaves_spend_standing(store: &Store) -> Result<Value, Error> {
+    store.append(StoreRecord::Charge(charge))?;
+    let value = run_mechanism()?;
+    store.append(StoreRecord::Release(release_for(&value)))?;
+    Ok(value)
+}

@@ -1,0 +1,13 @@
+//@ lint-as: crates/engine/src/recovery.rs
+// A waived refund path: crash recovery credits back a charge whose release
+// never became durable — the inverse of the live-path rule, legitimate
+// only because recovery proves no value escaped.
+
+pub fn recover_orphaned_charge(store: &Store, acct: &Accountant) -> Result<(), Error> {
+    store.append(StoreRecord::Charge(reconstructed))?;
+    // privlint::allow(charge-release-paths): recovery path — the journal
+    // proves no release ever became durable, so no value escaped and the
+    // orphaned spend may be credited back
+    acct.refund_spend(reconstructed.key()); //~ WAIVED charge-release-paths
+    Ok(())
+}

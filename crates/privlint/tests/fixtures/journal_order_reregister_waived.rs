@@ -3,6 +3,9 @@ pub fn undo(s: &Store, reg: &Registry, entry: Entry, rec: Reregister) {
     // privlint::allow(journal-order): rollback of a refused version flip
     // re-installs the predecessor entry before annulling the journaled
     // reregister record; no new version becomes visible in this window
+    // privlint::allow(charge-release-paths): same rollback window — the
+    // journaled record being annulled is already durable
     reg.push_version(entry); //~ WAIVED journal-order
+    //~^ WAIVED charge-release-paths
     s.append(StoreRecord::Reregister(rec));
 }

@@ -66,6 +66,18 @@ const FRAGMENTS: &[&str] = &[
     "'static",
     "'_",
     "r#match",
+    "r#type",
+    "r#fn",
+    "r#struct.field",
+    "let r#type = r#match;",
+    "rb\"not a raw byte string\"",
+    "rb",
+    "r#",
+    "br#broken",
+    "r##type",
+    "r#\"terminated\"# r#ident",
+    "b'x'",
+    "b'\\n'",
     "/* nested /* block */ comment */",
     "/* unterminated",
     "// line comment\n",
@@ -88,6 +100,51 @@ const FRAGMENTS: &[&str] = &[
     "\u{0}",
 ];
 
+/// Raw identifiers must lex as identifiers, never as raw-string starts —
+/// `r#type` swallowing the rest of the file as a string would blind every
+/// downstream rule. And `rb"…"` is not a Rust string prefix at all: it is
+/// the identifier `rb` followed by a plain string.
+#[test]
+fn raw_identifiers_are_idents_not_strings() {
+    use privcluster_privlint::lexer::TokKind;
+    for (src, want_texts) in [
+        ("r#type", vec![("r#type", TokKind::Ident)]),
+        ("r#match", vec![("r#match", TokKind::Ident)]),
+        (
+            "r#fn()",
+            vec![
+                ("r#fn", TokKind::Ident),
+                ("(", TokKind::Punct),
+                (")", TokKind::Punct),
+            ],
+        ),
+        (
+            "let r#type = 1;",
+            vec![
+                ("let", TokKind::Ident),
+                ("r#type", TokKind::Ident),
+                ("=", TokKind::Punct),
+                ("1", TokKind::Number),
+                (";", TokKind::Punct),
+            ],
+        ),
+        (
+            "rb\"s\"",
+            vec![("rb", TokKind::Ident), ("\"s\"", TokKind::Str)],
+        ),
+        ("r#\"raw\"#", vec![("r#\"raw\"#", TokKind::Str)]),
+        ("br#\"raw\"#", vec![("br#\"raw\"#", TokKind::Str)]),
+    ] {
+        let toks = lex(src);
+        let got: Vec<(&str, TokKind)> = toks
+            .iter()
+            .map(|t| (&src[t.start..t.end], t.kind))
+            .collect();
+        assert_eq!(got, want_texts, "lexing {src:?}");
+        assert_round_trip(src);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -104,7 +161,7 @@ proptest! {
     /// rotating set of separators so fragments also collide mid-token.
     #[test]
     fn lexer_is_total_on_fragment_soup(
-        picks in prop::collection::vec(0usize..31usize, 0..48),
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..48),
         sep in 0usize..4usize,
     ) {
         let seps = ["", " ", "\n", "\t"];

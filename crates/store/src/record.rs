@@ -424,7 +424,8 @@ mod tests {
         assert!(StoreRecord::from_payload(v1).is_err());
         // The wire shape has no budget/composition fields at all: a decoded
         // reregister is structurally unable to reset the ledger.
-        let StoreRecord::Reregister(r) = StoreRecord::from_payload(&reregister(4, "d", 2).to_payload()).unwrap()
+        let StoreRecord::Reregister(r) =
+            StoreRecord::from_payload(&reregister(4, "d", 2).to_payload()).unwrap()
         else {
             panic!("expected a reregister record");
         };
