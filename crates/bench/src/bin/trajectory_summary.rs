@@ -2,7 +2,7 @@
 //! service's own latency histograms into one benchmark-trajectory point.
 //!
 //! ```text
-//! trajectory_summary <criterion.jsonl> [metrics.json] > BENCH_N.json
+//! trajectory_summary <criterion.jsonl> [metrics.json] [--loadgen OUT.json]... > BENCH_N.json
 //! ```
 //!
 //! `criterion.jsonl` is the JSON-lines file the vendored criterion shim
@@ -10,9 +10,14 @@
 //! `metrics.json` is optional: a `{"cmd":"metrics"}` response line from
 //! the `serve` binary (or the bare snapshot document); every non-empty
 //! latency histogram in it becomes a `serve/<name>` entry with quantiles
-//! interpolated from the histogram buckets. The output is one sorted JSON
-//! object, benchmark name → `{p50, p90, mean, n}` — successive PRs commit
-//! successive `BENCH_*.json` files, so regressions show up as a diff.
+//! interpolated from the histogram buckets. Each `--loadgen` flag names a
+//! `loadgen` result document; its latency percentiles become a
+//! `loadgen/<label>` entry and its admitted-query rate a bare
+//! `loadgen/<label>/throughput_rps` number, so fsync-policy comparisons
+//! (group commit vs per-charge) land in the same trajectory point. The
+//! output is one sorted JSON object, benchmark name →
+//! `{p50, p90, mean, n}` — successive PRs commit successive
+//! `BENCH_*.json` files, so regressions show up as a diff.
 
 use privcluster_obs::HistogramSnapshot;
 use serde::Value;
@@ -47,14 +52,30 @@ fn fail(message: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut loadgen_paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let Some(criterion_path) = args.next() else {
-        eprintln!("usage: trajectory_summary <criterion.jsonl> [metrics.json]");
+    while let Some(arg) = args.next() {
+        if arg == "--loadgen" {
+            let Some(path) = args.next() else {
+                return fail("--loadgen requires a path");
+            };
+            loadgen_paths.push(path);
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let Some(criterion_path) = positional.next() else {
+        eprintln!(
+            "usage: trajectory_summary <criterion.jsonl> [metrics.json] [--loadgen OUT.json]..."
+        );
         return ExitCode::from(2);
     };
-    let metrics_path = args.next();
+    let metrics_path = positional.next();
 
     let mut points: BTreeMap<String, Point> = BTreeMap::new();
+    let mut extras: BTreeMap<String, Value> = BTreeMap::new();
     let criterion = match std::fs::read_to_string(&criterion_path) {
         Ok(text) => text,
         Err(e) => return fail(&format!("cannot read {criterion_path}: {e}")),
@@ -130,22 +151,63 @@ fn main() -> ExitCode {
         }
     }
 
-    let doc = Value::Object(
-        points
-            .into_iter()
-            .map(|(name, p)| {
-                (
-                    name,
-                    Value::Object(vec![
-                        ("p50".to_string(), Value::Number(p.p50)),
-                        ("p90".to_string(), Value::Number(p.p90)),
-                        ("mean".to_string(), Value::Number(p.mean)),
-                        ("n".to_string(), Value::Number(p.n as f64)),
-                    ]),
-                )
-            })
-            .collect(),
-    );
+    for path in loadgen_paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        let Ok(doc) = serde_json::from_str::<Value>(text.trim()) else {
+            return fail(&format!("unparseable loadgen document in {path}"));
+        };
+        let (
+            Some(Value::String(label)),
+            Some(p50),
+            Some(p90),
+            Some(mean),
+            Some(ok),
+            Some(throughput),
+        ) = (
+            get(&doc, "label"),
+            get(&doc, "p50_seconds").and_then(num),
+            get(&doc, "p90_seconds").and_then(num),
+            get(&doc, "mean_seconds").and_then(num),
+            get(&doc, "ok").and_then(num),
+            get(&doc, "throughput_rps").and_then(num),
+        )
+        else {
+            return fail(&format!("loadgen document missing fields in {path}"));
+        };
+        if label.is_empty() {
+            return fail(&format!("loadgen document in {path} has an empty label"));
+        }
+        points.insert(
+            format!("loadgen/{label}"),
+            Point {
+                p50,
+                p90,
+                mean,
+                n: ok as u64,
+            },
+        );
+        extras.insert(
+            format!("loadgen/{label}/throughput_rps"),
+            Value::Number(throughput),
+        );
+    }
+
+    let mut merged: BTreeMap<String, Value> = extras;
+    for (name, p) in points {
+        merged.insert(
+            name,
+            Value::Object(vec![
+                ("p50".to_string(), Value::Number(p.p50)),
+                ("p90".to_string(), Value::Number(p.p90)),
+                ("mean".to_string(), Value::Number(p.mean)),
+                ("n".to_string(), Value::Number(p.n as f64)),
+            ]),
+        );
+    }
+    let doc = Value::Object(merged.into_iter().collect());
     match serde_json::to_string(&doc) {
         Ok(json) => {
             println!("{json}");

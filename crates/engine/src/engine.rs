@@ -381,6 +381,7 @@ impl Engine {
 
         store.set_observer(StoreObserver {
             fsync_seconds: Arc::clone(&engine.telemetry.fsync_seconds),
+            group_commit_batch: Arc::clone(&engine.telemetry.group_commit_batch_size),
             events: Arc::clone(engine.telemetry.events()),
         });
         event!(
@@ -682,6 +683,12 @@ impl Engine {
         }
     }
 
+    /// Charges appended to the journal but not yet covered by a group
+    /// fsync — always 0 without a store, or with per-append fsync.
+    pub fn commit_queue_depth(&self) -> u64 {
+        self.store.as_ref().map_or(0, |s| s.commit_queue_depth())
+    }
+
     /// Cache hit / miss counters of the released-result cache.
     pub fn cache_stats(&self) -> (u64, u64) {
         let cache = lock_recover(&self.cache);
@@ -752,6 +759,9 @@ impl Engine {
                 .gauge_with("dataset_version", labels)
                 .set(entry.version() as f64);
         }
+        registry
+            .gauge("commit_queue_depth")
+            .set(self.commit_queue_depth() as f64);
         registry
             .gauge("pool_queue_depth")
             .set(crate::pool::queue_depth() as f64);
@@ -831,24 +841,37 @@ impl Engine {
             accountant
                 .try_charge(request.query.label(), request.privacy)
                 .and_then(|_| {
-                    // Write-ahead: the admitted charge is journaled — and
-                    // fsynced — while the accountant lock is held, *before*
-                    // the plan runs or any result can be released. If the
-                    // append fails, the in-memory spend stands (budget is
-                    // never refunded) and the result is withheld: the error
-                    // below aborts admission before execution.
-                    if let Some(store) = &self.store {
-                        store.append(StoreRecord::Charge(ChargeRecord {
-                            seq: 0, // assigned by the store
-                            dataset: entry.name().to_string(),
-                            fingerprint: key.clone(),
-                            label: request.query.label(),
-                            params: request.privacy,
-                        }))?;
-                    }
-                    Ok(accountant.remaining_epsilon())
+                    // Write-ahead: the admitted charge is journaled while
+                    // the accountant lock is held — journal order is charge
+                    // order — *before* the plan runs or any result can be
+                    // released. If the append fails, the in-memory spend
+                    // stands (budget is never refunded) and the result is
+                    // withheld: the error below aborts admission before
+                    // execution.
+                    let ticket = match &self.store {
+                        Some(store) => {
+                            Some(store.append_deferred(StoreRecord::Charge(ChargeRecord {
+                                seq: 0, // assigned by the store
+                                dataset: entry.name().to_string(),
+                                fingerprint: key.clone(),
+                                label: request.query.label(),
+                                params: request.privacy,
+                            }))?)
+                        }
+                        None => None,
+                    };
+                    Ok((accountant.remaining_epsilon(), ticket))
                 })
         };
+        // The fsync wait happens *after* the accountant lock is dropped:
+        // under group commit other queries on this dataset charge (and
+        // join the same batch) while this one's fsync is in flight. The
+        // write-ahead contract is untouched — nothing runs, and nothing
+        // can be released, until the wait confirms the charge is durable.
+        let charged = charged.and_then(|(remaining, ticket)| match ticket {
+            Some(ticket) => ticket.wait().map(|_| remaining).map_err(EngineError::from),
+            None => Ok(remaining),
+        });
         let remaining_epsilon = match charged {
             Ok(remaining) => remaining,
             Err(e) => {

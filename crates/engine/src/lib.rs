@@ -110,10 +110,12 @@ pub use fingerprint::{
     versioned_registration_fingerprint,
 };
 pub use planner::{plan, Plan};
-pub use protocol::{serve_lines, serve_tcp, Request, MAX_REQUEST_LINE_BYTES};
+pub use protocol::{
+    error_value, handle, serve_lines, serve_lines_with, serve_tcp, Request, MAX_REQUEST_LINE_BYTES,
+};
 pub use query::{BaselineMethod, Query, QueryRequest, QueryValue, WireBall};
 pub use registry::{BackendChoice, DatasetEntry, DatasetRegistry};
 pub use telemetry::Telemetry;
 // The durability layer's handle types, so `Engine::open` is usable from
 // the engine crate alone.
-pub use privcluster_store::{Store, StoreConfig};
+pub use privcluster_store::{GroupCommitConfig, Store, StoreConfig};

@@ -216,6 +216,19 @@ impl Request {
             other => Err(EngineError::Protocol(format!("unknown op `{other}`"))),
         }
     }
+
+    /// The dataset this request addresses, when it addresses exactly one —
+    /// what a sharded front end routes on. `Batch` splits per contained
+    /// query; `List`, `Metrics`, and `Shutdown` are engine-global.
+    pub fn dataset(&self) -> Option<&str> {
+        match self {
+            Request::Register(r) => Some(&r.dataset),
+            Request::Reregister(r) => Some(&r.dataset),
+            Request::Query(q) => Some(&q.dataset),
+            Request::Status { dataset, .. } => Some(dataset),
+            Request::Batch(_) | Request::List | Request::Metrics | Request::Shutdown => None,
+        }
+    }
 }
 
 fn parse_domain(value: &Value) -> Result<GridDomain, EngineError> {
@@ -475,14 +488,18 @@ fn query_response_json(dataset: &str, response: &QueryResponse) -> Value {
 }
 
 fn error_json(error: &EngineError) -> Value {
+    error_value(error.kind(), &error.to_string())
+}
+
+/// The protocol's error response shape, for any `(kind, message)` pair —
+/// front ends layered above the engine (the sharded server's `retry`
+/// backpressure error) produce wire-identical errors through this.
+pub fn error_value(kind: &str, message: &str) -> Value {
     obj(vec![
         ("ok", Value::Bool(false)),
         (
             "error",
-            obj(vec![
-                ("kind", s(error.kind())),
-                ("message", s(error.to_string())),
-            ]),
+            obj(vec![("kind", s(kind)), ("message", s(message))]),
         ),
     ])
 }
@@ -675,9 +692,43 @@ pub fn serve_lines<R: BufRead, W: Write>(
 /// [`serve_lines`] with an explicit line cap (tests use a small one).
 fn serve_lines_bounded<R: BufRead, W: Write>(
     engine: &Engine,
+    reader: R,
+    writer: W,
+    max_line_bytes: usize,
+) -> std::io::Result<bool> {
+    serve_lines_bounded_with(
+        reader,
+        writer,
+        max_line_bytes,
+        |line| match Request::parse(line) {
+            Ok(request) => {
+                let stop = matches!(request, Request::Shutdown);
+                (handle(engine, &request), stop)
+            }
+            Err(e) => (error_json(&e), false),
+        },
+    )
+}
+
+/// Serves newline-delimited JSON with a caller-supplied request handler —
+/// how front ends layered above a single engine (the sharded server)
+/// reuse the protocol's framing. The handler maps one non-empty request
+/// line to `(response, stop)`; the line cap, the oversize error, the
+/// empty-line skip, and the flush-per-response discipline are all shared
+/// with [`serve_lines`], so transcripts stay wire-identical.
+pub fn serve_lines_with<R: BufRead, W: Write, F: FnMut(&str) -> (Value, bool)>(
+    reader: R,
+    writer: W,
+    handler: F,
+) -> std::io::Result<bool> {
+    serve_lines_bounded_with(reader, writer, MAX_REQUEST_LINE_BYTES, handler)
+}
+
+fn serve_lines_bounded_with<R: BufRead, W: Write, F: FnMut(&str) -> (Value, bool)>(
     mut reader: R,
     mut writer: W,
     max_line_bytes: usize,
+    mut handler: F,
 ) -> std::io::Result<bool> {
     loop {
         let line = match read_bounded_line(&mut reader, max_line_bytes)? {
@@ -697,13 +748,7 @@ fn serve_lines_bounded<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, stop) = match Request::parse(&line) {
-            Ok(request) => {
-                let stop = matches!(request, Request::Shutdown);
-                (handle(engine, &request), stop)
-            }
-            Err(e) => (error_json(&e), false),
-        };
+        let (response, stop) = handler(&line);
         let encoded =
             serde_json::to_string(&response).expect("response serialization is infallible");
         writeln!(writer, "{encoded}")?;

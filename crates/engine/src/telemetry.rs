@@ -27,6 +27,9 @@ pub struct Telemetry {
     pub(crate) backend_build_seconds: Arc<Histogram>,
     /// Journal commit fsync latency (recorded by the attached store).
     pub(crate) fsync_seconds: Arc<Histogram>,
+    /// Records covered by each group-commit batch fsync (recorded by the
+    /// attached store; empty when group commit is disabled).
+    pub(crate) group_commit_batch_size: Arc<Histogram>,
     /// Every query reaching admission.
     pub(crate) queries_total: Arc<Counter>,
     /// Queries that charged the ledger and ran.
@@ -63,6 +66,10 @@ impl Telemetry {
             execute_seconds: registry.histogram("execute_seconds", latency),
             backend_build_seconds: registry.histogram("backend_build_seconds", latency),
             fsync_seconds: registry.histogram("fsync_seconds", latency),
+            group_commit_batch_size: registry.histogram(
+                "group_commit_batch_size",
+                privcluster_obs::metrics::BATCH_SIZE,
+            ),
             queries_total: registry.counter("queries_total"),
             queries_granted_total: registry.counter("queries_granted_total"),
             cache_hits_total: registry.counter("cache_hits_total"),
@@ -101,6 +108,6 @@ mod tests {
         assert_eq!(snapshot.histogram("admission_seconds").unwrap().count, 1);
         // Every handle is backed by the same registry the snapshot reads.
         assert_eq!(snapshot.counters.len(), 8);
-        assert_eq!(snapshot.histograms.len(), 4);
+        assert_eq!(snapshot.histograms.len(), 5);
     }
 }

@@ -14,6 +14,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// decade per bucket (plus the implicit `+Inf` bucket).
 pub const LATENCY_SECONDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
 
+/// Bucket upper bounds for small-count distributions (group-commit batch
+/// sizes): powers of two from 1 to 128 (plus the implicit `+Inf` bucket).
+pub const BATCH_SIZE: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {

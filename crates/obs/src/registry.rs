@@ -221,6 +221,46 @@ impl MetricsSnapshot {
         ])
     }
 
+    /// Folds `other` into this snapshot, series by series — how a sharded
+    /// front end presents N per-shard registries as one scrape. Counters
+    /// sum; histograms merge bucket-wise when the bounds agree (and
+    /// `other` wins wholesale on a layout mismatch, which only a config
+    /// bug can produce); gauges are last-write-wins, so a gauge present in
+    /// both keeps `other`'s value — shard-distinct gauges must carry a
+    /// shard label. Sorted series order is preserved, so merging shards in
+    /// a fixed order renders deterministically.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (id, value) in &other.counters {
+            match self.counters.binary_search_by(|(have, _)| have.cmp(id)) {
+                Ok(i) => self.counters[i].1 += value,
+                Err(i) => self.counters.insert(i, (id.clone(), *value)),
+            }
+        }
+        for (id, value) in &other.gauges {
+            match self.gauges.binary_search_by(|(have, _)| have.cmp(id)) {
+                Ok(i) => self.gauges[i].1 = *value,
+                Err(i) => self.gauges.insert(i, (id.clone(), *value)),
+            }
+        }
+        for (id, snap) in &other.histograms {
+            match self.histograms.binary_search_by(|(have, _)| have.cmp(id)) {
+                Ok(i) => {
+                    let have = &mut self.histograms[i].1;
+                    if have.bounds == snap.bounds {
+                        for (b, add) in have.buckets.iter_mut().zip(&snap.buckets) {
+                            *b += add;
+                        }
+                        have.sum += snap.sum;
+                        have.count += snap.count;
+                    } else {
+                        *have = snap.clone();
+                    }
+                }
+                Err(i) => self.histograms.insert(i, (id.clone(), snap.clone())),
+            }
+        }
+    }
+
     /// Looks a histogram up by metric name (first series with that name).
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms
@@ -299,6 +339,38 @@ mod tests {
         let h = snapshot.histogram("lat_seconds").unwrap();
         assert_eq!(h.count, 1);
         assert_eq!(h.buckets, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn merge_folds_shard_snapshots_into_one() {
+        let a = MetricsRegistry::new();
+        a.counter("requests_total").add(3);
+        a.counter_with("requests_total", &[("shard", "0")]).add(3);
+        a.gauge_with("inflight", &[("shard", "0")]).set(2.0);
+        a.histogram("lat_seconds", &[0.1, 1.0]).observe(0.05);
+        let b = MetricsRegistry::new();
+        b.counter("requests_total").add(4);
+        b.counter_with("requests_total", &[("shard", "1")]).add(4);
+        b.gauge_with("inflight", &[("shard", "1")]).set(5.0);
+        let h = b.histogram("lat_seconds", &[0.1, 1.0]);
+        h.observe(0.5);
+        h.observe(0.05);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("requests_total"), Some(7));
+        assert_eq!(merged.counter("requests_total{shard=\"0\"}"), Some(3));
+        assert_eq!(merged.counter("requests_total{shard=\"1\"}"), Some(4));
+        assert_eq!(merged.gauge("inflight{shard=\"0\"}"), Some(2.0));
+        assert_eq!(merged.gauge("inflight{shard=\"1\"}"), Some(5.0));
+        let lat = merged.histogram("lat_seconds").unwrap();
+        assert_eq!(lat.buckets, vec![2, 1, 0]);
+        assert_eq!(lat.count, 3);
+        assert!((lat.sum - 0.6).abs() < 1e-12);
+        // Merged series stay sorted, so rendering is deterministic.
+        let rendered: Vec<String> = merged.counters.iter().map(|(id, _)| id.render()).collect();
+        let mut sorted = rendered.clone();
+        sorted.sort();
+        assert_eq!(rendered, sorted);
     }
 
     #[test]

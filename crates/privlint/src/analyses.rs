@@ -636,7 +636,7 @@ pub fn charge_release_paths(
     lib: &dyn Fn(u32) -> bool,
     findings: &mut Vec<Finding>,
 ) {
-    if scope.crate_name.as_deref() != Some("engine") {
+    if !matches!(scope.crate_name.as_deref(), Some("engine") | Some("server")) {
         return;
     }
     for node in syntax::fn_tree(sig) {

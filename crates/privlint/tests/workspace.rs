@@ -139,3 +139,63 @@ fn charge_release_rederives_write_ahead_sites() {
         "version flip before the PR-8 reregister append must be flagged"
     );
 }
+
+/// The lock graph must derive the store's group-commit edge from the live
+/// source: `append_deferred` acquires the `commit` state mutex while the
+/// store's `inner` lock is held (the snapshot path releases queued
+/// waiters under both). Declaring `commit` before `inner` surfaces the
+/// inversion — proof the new subsystem is inside the analysis, not past
+/// its edge.
+#[test]
+fn lock_graph_derives_store_group_commit_edge() {
+    let src = fs::read_to_string(workspace_root().join("crates/store/src/store.rs"))
+        .expect("read real store.rs");
+    let reversed = LockOrderConfig {
+        order: vec!["commit".to_string(), "inner".to_string()],
+    };
+    let checked = lint_sources(&[("crates/store/src/store.rs", &src)], &reversed);
+    let messages: Vec<&str> = checked[0]
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order" && !f.waived)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`commit` is acquired while `inner` is held")),
+        "inner→commit group-commit edge not derived: {messages:#?}"
+    );
+}
+
+/// `charge-release-paths` now covers the server crate: a refund-shaped
+/// call after a journaled charge in `crates/server` is flagged exactly as
+/// it would be in the engine, while the same source outside both crates
+/// stays out of scope.
+#[test]
+fn charge_release_scope_covers_server_crate() {
+    let src = r#"
+fn admit_and_refund(store: &Store) -> Result<(), StoreError> {
+    store.append(StoreRecord::Charge(ChargeRecord { seq: 0 }))?;
+    refund_spend(store);
+    Ok(())
+}
+"#;
+    let in_server = lint_source("crates/server/src/front.rs", src);
+    assert!(
+        in_server
+            .findings
+            .iter()
+            .any(|f| f.rule == "charge-release-paths" && f.message.contains("refund")),
+        "server-crate refund-after-charge must be flagged: {:#?}",
+        in_server.findings
+    );
+    let out_of_scope = lint_source("crates/report/src/front.rs", src);
+    assert!(
+        out_of_scope
+            .findings
+            .iter()
+            .all(|f| f.rule != "charge-release-paths"),
+        "crates outside engine/server stay out of charge-release scope"
+    );
+}

@@ -1,0 +1,421 @@
+//! Multi-connection TCP load generator for the privcluster service.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--connections K] [--requests N] [--datasets D]
+//!         [--points P] [--epsilon E] [--seed S] [--label NAME]
+//!         [--log PATH] [--shutdown]
+//! ```
+//!
+//! Drives a running `serve --tcp` instance with K concurrent connections
+//! over a deterministic mixed workload (mostly `good_radius`, one
+//! `one_cluster` in eight) spread across D datasets, every query with a
+//! distinct seed so each one is admitted and charged (no replay-cache
+//! hits — this measures admission throughput, the fsync-bound path).
+//! Datasets are registered first on a setup connection, with budgets
+//! overprovisioned so no query is refused.
+//!
+//! A `retry` error (the server's backpressure signal) is not a failure:
+//! the worker backs off briefly and resends, and the request's latency
+//! keeps accumulating across retries — backpressure shows up as tail
+//! latency, exactly as a real client would experience it.
+//!
+//! Emits one JSON object on stdout: request counts (`ok`, `cached`,
+//! `retries`, `errors`), latency percentiles (`p50_seconds`,
+//! `p90_seconds`, `p99_seconds`, `mean_seconds`), and `throughput_rps`
+//! over the query phase. `--log PATH` writes the logical request lines
+//! (registrations, then every query exactly once, in global order) so a
+//! harness can replay the same workload sequentially and compare budget
+//! spend. `--shutdown` sends a `shutdown` op when done.
+
+use privcluster_obs::Stopwatch;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--connections K] [--requests N] [--datasets D] \
+         [--points P] [--epsilon E] [--seed S] [--label NAME] [--log PATH] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+/// How many times one request retries on backpressure before it counts as
+/// an error — at 200 µs of backoff each, far beyond any sane overload.
+const MAX_RETRIES: u64 = 100_000;
+
+fn get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// `true` when the response is the server's structured backpressure error.
+fn is_retry(response: &Value) -> bool {
+    matches!(get(response, "ok"), Some(Value::Bool(false)))
+        && get(response, "error")
+            .and_then(|e| get(e, "kind"))
+            .and_then(Value::as_str)
+            == Some("retry")
+}
+
+/// One good_radius request object (no `op` wrapper, so it slots into both
+/// a `query` line and a `batch` member list).
+fn query_body(dataset: usize, seed: u64, t: usize, epsilon: f64) -> String {
+    format!(
+        "{{\"dataset\":\"ds{dataset}\",\"seed\":{seed},\"epsilon\":{epsilon},\"delta\":1e-9,\
+         \"query\":{{\"type\":\"good_radius\",\"t\":{t},\"beta\":0.1}}}}"
+    )
+}
+
+/// The deterministic request line for global query index `i`: mostly
+/// single `good_radius` queries over three target sizes, one request in
+/// eight a two-member `batch` spanning adjacent datasets (exercising the
+/// split/reassemble path and, on a sharded server, multi-shard slot
+/// reservation). Every member uses a globally unique seed, so nothing is
+/// a replay-cache hit — each one is admitted, charged, and journaled.
+fn query_line(i: usize, datasets: usize, points: usize, epsilon: f64, seed: u64) -> String {
+    let dataset = i % datasets;
+    let t = (points / 4).max(1) * (1 + i % 3);
+    if i % 8 == 7 {
+        let sibling = (i + 1) % datasets;
+        // Seeds for second members come from a disjoint range so they
+        // never collide with the single-query seeds.
+        let extra = seed + 1_000_000 + i as u64;
+        return format!(
+            "{{\"op\":\"batch\",\"requests\":[{},{}]}}",
+            query_body(dataset, seed + i as u64, t, epsilon),
+            query_body(sibling, extra, (points / 2).max(1), epsilon),
+        );
+    }
+    let body = query_body(dataset, seed + i as u64, t, epsilon);
+    format!("{{\"op\":\"query\",{}", &body[1..])
+}
+
+/// The registration line for dataset `d`, its budget overprovisioned for
+/// the whole run (2× the total possible spend) so refusals never pollute a
+/// throughput measurement.
+fn register_line(d: usize, points: usize, requests: usize, epsilon: f64, seed: u64) -> String {
+    let budget_epsilon = 2.0 * epsilon * requests as f64;
+    let budget_delta = 2e-9 * requests as f64;
+    format!(
+        "{{\"op\":\"register\",\"dataset\":\"ds{d}\",\"domain\":{{\"dim\":2,\"size\":1024}},\
+         \"budget\":{{\"epsilon\":{budget_epsilon},\"delta\":{budget_delta}}},\
+         \"composition\":\"basic\",\"synthetic\":{{\"kind\":\"planted_ball\",\"n\":{points},\
+         \"cluster_size\":{},\"cluster_radius\":0.05,\"seed\":{}}}}}",
+        (points / 2).max(1),
+        seed + 1000 + d as u64
+    )
+}
+
+struct WorkerReport {
+    latencies: Vec<f64>,
+    ok: u64,
+    cached: u64,
+    retries: u64,
+    errors: u64,
+}
+
+/// One connection's share of the workload: queries whose global index is
+/// congruent to this worker's id, in increasing order, strictly one at a
+/// time (the protocol serves a connection's requests in order anyway).
+fn run_worker(addr: &str, lines: &[String], worker: usize, connections: usize) -> WorkerReport {
+    let mut report = WorkerReport {
+        latencies: Vec::new(),
+        ok: 0,
+        cached: 0,
+        retries: 0,
+        errors: 0,
+    };
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("loadgen: worker {worker}: connect {addr}: {e}");
+            report.errors = lines.iter().skip(worker).step_by(connections).count() as u64;
+            return report;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("loadgen: worker {worker}: clone: {e}");
+            report.errors = lines.iter().skip(worker).step_by(connections).count() as u64;
+            return report;
+        }
+    });
+    let mut writer = stream;
+    let mut response = String::new();
+    for line in lines.iter().skip(worker).step_by(connections) {
+        let clock = Stopwatch::start();
+        let mut attempts: u64 = 0;
+        loop {
+            response.clear();
+            let sent = writeln!(writer, "{line}")
+                .and_then(|_| writer.flush())
+                .and_then(|_| reader.read_line(&mut response));
+            match sent {
+                Ok(0) | Err(_) => {
+                    report.errors += 1;
+                    break;
+                }
+                Ok(_) => {}
+            }
+            let line_out = response.trim();
+            // Fast path: the harness and the server share one small box,
+            // so don't burn the measurement's own CPU parsing the common
+            // success response — a prefix check is exact (the server
+            // always emits `ok` first).
+            if line_out.starts_with("{\"ok\":true") {
+                report.ok += 1;
+                if line_out.contains("\"cached\":true") {
+                    report.cached += 1;
+                }
+                report.latencies.push(clock.elapsed_seconds());
+                break;
+            }
+            let Ok(value) = serde_json::from_str::<Value>(line_out) else {
+                report.errors += 1;
+                break;
+            };
+            if is_retry(&value) {
+                report.retries += 1;
+                attempts += 1;
+                if attempts > MAX_RETRIES {
+                    report.errors += 1;
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            report.errors += 1;
+            break;
+        }
+    }
+    report
+}
+
+/// Sends one request line and reads one response line.
+fn roundtrip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> std::io::Result<String> {
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    Ok(response)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() -> std::process::ExitCode {
+    let mut addr: Option<String> = None;
+    let mut connections: usize = 8;
+    let mut requests: usize = 2000;
+    let mut datasets: usize = 8;
+    let mut points: usize = 64;
+    let mut epsilon: f64 = 0.01;
+    let mut seed: u64 = 1;
+    let mut label = String::from("loadgen");
+    let mut log_path: Option<String> = None;
+    let mut send_shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--connections" => {
+                connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--datasets" => {
+                datasets = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--points" => {
+                points = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 8)
+                    .unwrap_or_else(|| usage())
+            }
+            "--epsilon" => {
+                epsilon = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&e| e > 0.0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--label" => label = args.next().unwrap_or_else(|| usage()),
+            "--log" => log_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--shutdown" => send_shutdown = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let registers: Vec<String> = (0..datasets)
+        .map(|d| register_line(d, points, requests, epsilon, seed))
+        .collect();
+    let queries: Vec<String> = (0..requests)
+        .map(|i| query_line(i, datasets, points, epsilon, seed))
+        .collect();
+
+    if let Some(path) = &log_path {
+        let mut log = String::new();
+        for line in registers.iter().chain(queries.iter()) {
+            log.push_str(line);
+            log.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, log) {
+            eprintln!("loadgen: cannot write log {path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+
+    // Registration phase: one setup connection, strictly awaited, so every
+    // worker sees every dataset.
+    let setup = match TcpStream::connect(&addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("loadgen: connect {addr}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let _ = setup.set_nodelay(true);
+    let mut setup_reader = BufReader::new(match setup.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("loadgen: clone setup connection: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    });
+    let mut setup_writer = setup;
+    for line in &registers {
+        match roundtrip(&mut setup_writer, &mut setup_reader, line) {
+            Ok(response) => {
+                let ok = serde_json::from_str::<Value>(response.trim())
+                    .ok()
+                    .and_then(|v| get(&v, "ok").cloned())
+                    == Some(Value::Bool(true));
+                if !ok {
+                    eprintln!("loadgen: registration failed: {}", response.trim());
+                    return std::process::ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: registration I/O error: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let clock = Stopwatch::start();
+    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                let addr = addr.as_str();
+                let queries = queries.as_slice();
+                scope.spawn(move || run_worker(addr, queries, worker, connections))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let elapsed = clock.elapsed_seconds();
+
+    if send_shutdown {
+        match roundtrip(
+            &mut setup_writer,
+            &mut setup_reader,
+            "{\"op\":\"shutdown\"}",
+        ) {
+            Ok(_) => {}
+            Err(e) => eprintln!("loadgen: shutdown request failed: {e}"),
+        }
+    }
+
+    let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let ok: u64 = reports.iter().map(|r| r.ok).sum();
+    let cached: u64 = reports.iter().map(|r| r.cached).sum();
+    let retries: u64 = reports.iter().map(|r| r.retries).sum();
+    let errors: u64 = reports.iter().map(|r| r.errors).sum();
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let throughput = if elapsed > 0.0 {
+        ok as f64 / elapsed
+    } else {
+        0.0
+    };
+
+    let summary = Value::Object(vec![
+        ("label".to_string(), Value::String(label)),
+        ("connections".to_string(), Value::Number(connections as f64)),
+        ("requests".to_string(), Value::Number(requests as f64)),
+        ("datasets".to_string(), Value::Number(datasets as f64)),
+        ("ok".to_string(), Value::Number(ok as f64)),
+        ("cached".to_string(), Value::Number(cached as f64)),
+        ("retries".to_string(), Value::Number(retries as f64)),
+        ("errors".to_string(), Value::Number(errors as f64)),
+        (
+            "p50_seconds".to_string(),
+            Value::Number(percentile(&latencies, 0.50)),
+        ),
+        (
+            "p90_seconds".to_string(),
+            Value::Number(percentile(&latencies, 0.90)),
+        ),
+        (
+            "p99_seconds".to_string(),
+            Value::Number(percentile(&latencies, 0.99)),
+        ),
+        ("mean_seconds".to_string(), Value::Number(mean)),
+        ("elapsed_seconds".to_string(), Value::Number(elapsed)),
+        ("throughput_rps".to_string(), Value::Number(throughput)),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string(&summary).expect("summary serialization is infallible")
+    );
+    if errors > 0 {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}

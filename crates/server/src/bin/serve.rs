@@ -1,0 +1,341 @@
+//! The privcluster service front-end: JSON-lines protocol over stdio or
+//! TCP, with per-dataset engine shards, group-commit durability, and
+//! admission backpressure.
+//!
+//! ```text
+//! serve [--journal PATH [--snapshot-dir DIR] [--snapshot-every N] | --in-memory]
+//!       [--shards N] [--group-commit-max-batch N] [--group-commit-max-wait-us N]
+//!       [--max-inflight N]
+//!       [--tcp ADDR] [--threads N] [--cache N]
+//!       [--metrics ADDR] [--events PATH]
+//! ```
+//!
+//! By default the service speaks newline-delimited JSON over stdin/stdout —
+//! ideal for piping canned request scripts (the CI smoke test does exactly
+//! that). With `--tcp ADDR` it listens on a socket and serves connections
+//! concurrently. See the `privcluster_engine::protocol` docs for the
+//! request/response schema.
+//!
+//! Durability: with `--journal PATH` every shard runs in write-ahead mode —
+//! every registration and admitted budget charge is fsynced to the shard's
+//! journal *before* its result is released, and restarting on the same
+//! journal (and the same `--shards`) recovers the spent budget exactly
+//! (never refunded). With `--shards N` (N > 1) shard `i` journals to
+//! `PATH`'s stem suffixed `-shard<i>` and snapshots under
+//! `DIR/shard<i>`. `--group-commit-max-batch N` (with N ≥ 1) batches
+//! commit fsyncs: concurrent charges share one fsync, waiting up to
+//! `--group-commit-max-wait-us` for a batch of N to fill. `--max-inflight`
+//! bounds each shard's concurrent admissions; beyond it requests receive a
+//! structured `retry` error immediately (backpressure instead of unbounded
+//! buffering).
+//!
+//! Observability: `--metrics ADDR` serves the merged metrics snapshot as
+//! Prometheus exposition text on a second listener (plain HTTP GET), and
+//! `--events PATH` appends every structured telemetry event as one JSON
+//! line (events buffered before the file opens — recovery, registration —
+//! are flushed into it first; shards share the file). Both are passive:
+//! protocol output on stdout and the stderr banner lines are bit-identical
+//! with or without them.
+
+use privcluster_engine::{Engine, EngineConfig, GroupCommitConfig, StoreConfig};
+use privcluster_obs::{event, prom, Severity};
+use privcluster_server::net;
+use privcluster_server::ShardedServer;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--journal PATH [--snapshot-dir DIR] [--snapshot-every N] | --in-memory] \
+         [--shards N] [--group-commit-max-batch N] [--group-commit-max-wait-us N] \
+         [--max-inflight N] [--tcp ADDR] [--threads N] [--cache N] [--metrics ADDR] \
+         [--events PATH]"
+    );
+    std::process::exit(2);
+}
+
+/// Shard `shard`'s journal path: the configured path itself for a single
+/// shard (byte-compatible with pre-sharding journals), the stem suffixed
+/// `-shard<i>` otherwise.
+fn shard_journal_path(base: &str, shard: usize, shards: usize) -> PathBuf {
+    let path = Path::new(base);
+    if shards == 1 {
+        return path.to_path_buf();
+    }
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("journal");
+    let name = match path.extension().and_then(|s| s.to_str()) {
+        Some(ext) => format!("{stem}-shard{shard}.{ext}"),
+        None => format!("{stem}-shard{shard}"),
+    };
+    path.with_file_name(name)
+}
+
+/// Shard `shard`'s snapshot directory: the configured directory itself for
+/// a single shard, a `shard<i>` subdirectory otherwise.
+fn shard_snapshot_dir(base: &str, shard: usize, shards: usize) -> PathBuf {
+    if shards == 1 {
+        PathBuf::from(base)
+    } else {
+        Path::new(base).join(format!("shard{shard}"))
+    }
+}
+
+/// An events sink shared by every shard's event stream: one mutex-guarded
+/// file handle, so concurrently emitted event lines never interleave
+/// mid-line.
+struct SharedSink {
+    file: Arc<Mutex<std::fs::File>>,
+}
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file
+            .lock()
+            .expect("events sink lock poisoned")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.lock().expect("events sink lock poisoned").flush()
+    }
+}
+
+/// Serves `GET /metrics`-style scrapes: reads the request head, answers
+/// with the merged snapshot rendered as Prometheus text, closes. One
+/// connection at a time is plenty for a scraper, and a hand-rolled
+/// HTTP/1.0 response keeps the binary dependency-free.
+fn serve_metrics(server: Arc<ShardedServer>, listener: std::net::TcpListener) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // Drain the request head (anything up to a blank line) so well-
+        // behaved HTTP clients do not see a reset; ignore its contents —
+        // every path scrapes the same snapshot.
+        let mut head = [0u8; 4096];
+        let _ = stream.read(&mut head);
+        let body = prom::render(&server.metrics_snapshot());
+        let _ = write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.flush();
+    }
+}
+
+fn main() -> ExitCode {
+    let mut tcp_addr: Option<String> = None;
+    let mut config = EngineConfig::default();
+    let mut journal: Option<String> = None;
+    let mut snapshot_dir: Option<String> = None;
+    let mut snapshot_every: usize = 1024;
+    let mut in_memory = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut events_path: Option<String> = None;
+    let mut shards: usize = 1;
+    let mut group_commit_max_batch: usize = 0;
+    let mut group_commit_max_wait_us: u64 = 0;
+    let mut max_inflight: usize = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => tcp_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache" => {
+                config.cache_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--journal" => journal = Some(args.next().unwrap_or_else(|| usage())),
+            "--snapshot-dir" => snapshot_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--snapshot-every" => {
+                snapshot_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--in-memory" => in_memory = true,
+            "--metrics" => metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--events" => events_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--group-commit-max-batch" => {
+                group_commit_max_batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--group-commit-max-wait-us" => {
+                group_commit_max_wait_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-inflight" => {
+                max_inflight = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if in_memory && journal.is_some() {
+        eprintln!("serve: --in-memory and --journal are mutually exclusive");
+        usage();
+    }
+    if journal.is_none() && snapshot_dir.is_some() {
+        eprintln!("serve: --snapshot-dir needs --journal");
+        usage();
+    }
+    // A group-commit batch of 0 means "disabled" (per-charge fsync, the
+    // pre-sharding behavior); the dwell flag only matters when enabled.
+    let group_commit = (group_commit_max_batch > 0).then_some(GroupCommitConfig {
+        max_batch: group_commit_max_batch,
+        max_wait_us: group_commit_max_wait_us,
+    });
+
+    let mut engines = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let engine = match &journal {
+            Some(path) => {
+                let shard_path = shard_journal_path(path, shard, shards);
+                let mut store_config = StoreConfig::journal_only(&shard_path);
+                store_config.snapshot_dir = snapshot_dir
+                    .as_ref()
+                    .map(|dir| shard_snapshot_dir(dir, shard, shards));
+                store_config.snapshot_every = snapshot_every;
+                store_config.group_commit = group_commit;
+                match Engine::open(config, store_config) {
+                    Ok(engine) => {
+                        let durability = engine.durability();
+                        // Stderr only: stdout stays pure protocol. (The
+                        // crash-recovery smoke greps this exact line; the
+                        // structured `serve.banner` event below is the
+                        // machine-readable copy.)
+                        eprintln!(
+                            "privcluster-engine: journal {} (seq {}, recovered: {})",
+                            shard_path.display(),
+                            durability.journal_seq,
+                            durability.recovered
+                        );
+                        event!(
+                            engine.events(),
+                            Severity::Info,
+                            "serve.banner",
+                            journal_seq = durability.journal_seq,
+                            recovered = durability.recovered,
+                        );
+                        engine
+                    }
+                    Err(e) => {
+                        eprintln!("serve: cannot open durable engine: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                let engine = Engine::new(config);
+                if !in_memory {
+                    if shard == 0 {
+                        eprintln!(
+                            "privcluster-engine: running IN-MEMORY — spent privacy budget will NOT \
+                             survive a restart; pass --journal PATH for durability or --in-memory \
+                             to silence this warning"
+                        );
+                    }
+                    event!(
+                        engine.events(),
+                        Severity::Warn,
+                        "serve.volatile_mode",
+                        journaled = false,
+                    );
+                }
+                engine
+            }
+        };
+        engines.push(engine);
+    }
+
+    if let Some(path) = &events_path {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => {
+                if engines.len() == 1 {
+                    engines[0].events().set_sink(Box::new(file));
+                } else {
+                    let shared = Arc::new(Mutex::new(file));
+                    for engine in &engines {
+                        engine.events().set_sink(Box::new(SharedSink {
+                            file: Arc::clone(&shared),
+                        }));
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("serve: cannot open events file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = Arc::new(ShardedServer::new(engines, max_inflight));
+
+    // The metrics endpoint runs on its own thread over a shared Arc; it
+    // only ever *reads* snapshots, so it cannot perturb the protocol loop.
+    if let Some(addr) = &metrics_addr {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("serve: cannot bind metrics listener on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Ok(bound) = listener.local_addr() {
+            eprintln!("privcluster-engine metrics listening on {bound}");
+        }
+        let server = Arc::clone(&server);
+        // Detached: the scrape loop dies with the process.
+        std::thread::spawn(move || serve_metrics(server, listener));
+    }
+
+    let served = match tcp_addr {
+        Some(addr) => net::serve_tcp(&server, &addr, |bound| {
+            // Written to stderr so stdout stays pure protocol.
+            eprintln!("privcluster-engine listening on {bound}");
+        }),
+        None => {
+            let result = net::serve_stdio(&server);
+            std::io::stdout().flush().ok();
+            result
+        }
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Serving transports for [`ShardedServer`]: stdio (one scripted
+//! connection) and concurrent TCP (one thread per connection).
+//!
+//! The engine's own `serve_tcp` handles connections sequentially — correct
+//! for golden-transcript smokes, useless for measuring admission
+//! throughput. Here every accepted connection gets a thread, all threads
+//! share the one [`ShardedServer`], and the per-shard admission gate (not
+//! the accept loop) is what bounds concurrent work. A `shutdown` request
+//! on any connection stops the accept loop; already-open connections are
+//! drained before the listener returns.
+
+use crate::ShardedServer;
+use privcluster_engine::serve_lines_with;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serves newline-delimited JSON over stdin/stdout — the scripted-smoke
+/// transport. Returns at end of input or after a `shutdown` request.
+pub fn serve_stdio(server: &ShardedServer) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_lines_with(BufReader::new(stdin.lock()), stdout.lock(), |line| {
+        server.handle_line(line)
+    })
+    .map(|_| ())
+}
+
+fn serve_connection(server: &ShardedServer, stream: TcpStream, shutdown: &AtomicBool) {
+    // Latency measurements at this request size are dominated by Nagle
+    // delays unless disabled; correctness does not depend on it.
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            eprintln!("privcluster-server: dropping connection: {e}");
+            return;
+        }
+    };
+    match serve_lines_with(reader, &stream, |line| server.handle_line(line)) {
+        Ok(true) => shutdown.store(true, Ordering::Release),
+        Ok(false) => {}
+        Err(e) => eprintln!("privcluster-server: connection ended with error: {e}"),
+    }
+}
+
+/// Binds `addr` and serves connections concurrently, one thread each. The
+/// locally bound address is reported through `on_bound` (useful with port
+/// 0). A `shutdown` request on any connection stops the accept loop; the
+/// call returns once every open connection has finished.
+pub fn serve_tcp(
+    server: &Arc<ShardedServer>,
+    addr: &str,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    on_bound(listener.local_addr()?);
+    // Non-blocking accept so the loop can notice a shutdown requested on a
+    // worker thread; 2 ms of poll latency is invisible next to connection
+    // setup.
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let server = Arc::clone(server);
+                let shutdown = Arc::clone(&shutdown);
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(&server, stream, &shutdown)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                eprintln!("privcluster-server: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}

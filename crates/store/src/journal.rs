@@ -162,6 +162,17 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// A duplicated handle onto the journal's file descriptor, for a
+    /// group-commit writer thread: `sync_data` on the clone flushes every
+    /// write already issued through the original handle (both refer to the
+    /// same open file description), so the writer can fsync a batch
+    /// without holding the lock that serializes appends.
+    pub fn try_clone_file(&self) -> Result<File, StoreError> {
+        self.file
+            .try_clone()
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
 }
 
 fn sync(file: &File, path: &Path) -> Result<(), StoreError> {

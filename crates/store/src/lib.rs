@@ -48,7 +48,9 @@ pub use record::{
 };
 pub use recovery::StoreState;
 pub use snapshot::Snapshot;
-pub use store::{RecoveryReport, Store, StoreConfig, StoreObserver};
+pub use store::{
+    GroupCommitConfig, PendingCommit, RecoveryReport, Store, StoreConfig, StoreObserver,
+};
 
 #[cfg(test)]
 pub(crate) mod test_dir {

@@ -1,5 +1,17 @@
 //! The engine-facing store handle: one object tying journal, snapshots,
 //! and the live compacted state together.
+//!
+//! # Group commit
+//!
+//! With [`StoreConfig::group_commit`] set, fsync-bearing appends are
+//! **batched**: the frame still reaches the file descriptor under the
+//! store lock (journal order = admission order, and the unbuffered write
+//! already survives `kill -9`), but the fsync is delegated to a dedicated
+//! writer thread that syncs once per batch and then releases every waiter
+//! whose record the sync covered. [`Store::append_deferred`] returns a
+//! [`PendingCommit`]; the caller's result may be released only after
+//! `wait()` returns — exactly the write-ahead contract of the per-append
+//! fsync path, at a fraction of the fsync count under concurrency.
 
 use crate::error::StoreError;
 use crate::journal::Journal;
@@ -7,19 +19,41 @@ use crate::record::StoreRecord;
 use crate::recovery::StoreState;
 use crate::snapshot::{load_latest, write_snapshot, Snapshot};
 use privcluster_obs::{event, EventStream, Histogram, Severity, Stopwatch};
+use std::fs::File;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
-/// Telemetry hooks a host (the engine) can attach to a store: a histogram
-/// for commit fsync latency and an event stream for snapshot lifecycle
-/// moments. Per the obs no-payload-data contract, the store reports
-/// timings, sequence numbers, and failure reasons — never record contents.
+/// Telemetry hooks a host (the engine) can attach to a store: histograms
+/// for commit fsync latency and group-commit batch sizes, and an event
+/// stream for snapshot lifecycle moments. Per the obs no-payload-data
+/// contract, the store reports timings, sequence numbers, batch counts,
+/// and failure reasons — never record contents.
 #[derive(Debug, Clone)]
 pub struct StoreObserver {
-    /// Receives the duration of each fsynced journal append, in seconds.
+    /// Receives the duration of each commit fsync, in seconds (one
+    /// observation per fsync: per append without group commit, per batch
+    /// with it).
     pub fsync_seconds: Arc<Histogram>,
+    /// Receives the number of records each group-commit fsync covered
+    /// (untouched when group commit is disabled).
+    pub group_commit_batch: Arc<Histogram>,
     /// Receives `store.snapshot` / `store.snapshot_failed` events.
     pub events: Arc<EventStream>,
+}
+
+/// Tuning for the group-commit writer thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupCommitConfig {
+    /// Sync as soon as this many records are waiting (the dwell below is
+    /// cut short). Values `>= 1`; the serve binary maps its flag's `0` to
+    /// "group commit disabled" before building this config.
+    pub max_batch: usize,
+    /// How long the writer dwells (in microseconds) for more records to
+    /// join a batch before syncing what it has. `0` syncs immediately —
+    /// batching still emerges under load, because records that arrive
+    /// while a sync is in flight share the next one.
+    pub max_wait_us: u64,
 }
 
 /// Where and how a [`Store`] persists engine state.
@@ -45,6 +79,9 @@ pub struct StoreConfig {
     /// without fsync a record still survives `kill -9` once `append`
     /// returns, but not power loss).
     pub sync_on_commit: bool,
+    /// Batch commit fsyncs on a dedicated writer thread. `None` keeps the
+    /// classic one-fsync-per-append path.
+    pub group_commit: Option<GroupCommitConfig>,
 }
 
 impl StoreConfig {
@@ -56,6 +93,7 @@ impl StoreConfig {
             snapshot_every: 0,
             max_retained_releases: 256,
             sync_on_commit: true,
+            group_commit: None,
         }
     }
 }
@@ -73,13 +111,85 @@ pub struct RecoveryReport {
     pub torn_tail: Option<String>,
 }
 
+/// Shared state between appenders and the group-commit writer thread.
+///
+/// `appended` / `synced` are high-water sequence numbers, not counts:
+/// `appended` is the highest fsync-bearing record whose frame has reached
+/// the descriptor, `synced` the highest covered by a completed fsync (or
+/// by a durable snapshot, which owns truncated records outright). The
+/// commit queue is the gap between them.
+#[derive(Debug)]
+struct CommitState {
+    appended: u64,
+    synced: u64,
+    /// Completed batch fsyncs (for tests and diagnostics).
+    fsyncs: u64,
+    /// Sticky first fsync failure: once a batch sync fails, every waiter
+    /// at or past `synced` — and every later append — must fail, because
+    /// their charges are not durable.
+    error: Option<String>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct GroupCommit {
+    commit: Mutex<CommitState>,
+    /// Wakes the writer (new work, or shutdown).
+    work: Condvar,
+    /// Wakes waiters (batch synced, snapshot advanced, or sticky error).
+    done: Condvar,
+}
+
+/// A deferred append: the record's frame is on disk (it survives
+/// `kill -9`), but its covering fsync may still be pending. Anything whose
+/// release depends on this record being power-loss durable — a noisy
+/// result covered by a budget charge, above all — must block on [`wait`]
+/// first.
+///
+/// [`wait`]: PendingCommit::wait
+#[derive(Debug)]
+#[must_use = "a deferred append is durable only after `wait` returns"]
+pub struct PendingCommit {
+    group: Option<Arc<GroupCommit>>,
+    seq: u64,
+}
+
+impl PendingCommit {
+    /// The assigned sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the fsync (or durable snapshot) covering this record
+    /// has completed, then returns its sequence number. Immediate when the
+    /// append was already synced inline (group commit off, or a record
+    /// class that never pays an fsync).
+    pub fn wait(self) -> Result<u64, StoreError> {
+        let Some(group) = self.group else {
+            return Ok(self.seq);
+        };
+        let mut state = group.commit.lock().expect("group-commit lock poisoned");
+        while state.synced < self.seq && state.error.is_none() {
+            state = group.done.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+        if state.synced >= self.seq {
+            return Ok(self.seq);
+        }
+        Err(StoreError::Io(state.error.clone().unwrap_or_else(|| {
+            "group-commit writer unavailable".to_string()
+        })))
+    }
+}
+
 /// A durable store: append-only journal + periodic snapshots + the live
 /// compacted state mirror.
 #[derive(Debug)]
 pub struct Store {
     inner: Mutex<Inner>,
     config: StoreConfig,
-    observer: OnceLock<StoreObserver>,
+    observer: Arc<OnceLock<StoreObserver>>,
+    group: Option<Arc<GroupCommit>>,
+    writer: Option<std::thread::JoinHandle<()>>,
 }
 
 #[derive(Debug)]
@@ -93,13 +203,18 @@ impl Store {
     /// Opens the journal (and newest valid snapshot, when a snapshot
     /// directory is configured), replays everything into a [`StoreState`],
     /// and returns the store positioned to append after the last committed
-    /// record.
+    /// record. With [`StoreConfig::group_commit`] set, the group-commit
+    /// writer thread is spawned here and joined on drop.
     pub fn open(config: StoreConfig) -> Result<(Store, RecoveryReport), StoreError> {
         let snapshot: Option<Snapshot> = match &config.snapshot_dir {
             Some(dir) => load_latest(dir)?,
             None => None,
         };
         let (journal, scan) = Journal::open(&config.journal_path)?;
+        let commit_file = match &config.group_commit {
+            Some(_) => Some(journal.try_clone_file()?),
+            None => None,
+        };
         let state = StoreState::recover(
             snapshot.as_ref(),
             &scan.records,
@@ -111,6 +226,34 @@ impl Store {
             recovered,
             torn_tail: scan.torn_tail,
         };
+        let observer: Arc<OnceLock<StoreObserver>> = Arc::new(OnceLock::new());
+        let (group, writer) = match (config.group_commit, commit_file) {
+            (Some(gc_config), Some(file)) => {
+                let group = Arc::new(GroupCommit {
+                    commit: Mutex::new(CommitState {
+                        appended: state.seq(),
+                        synced: state.seq(),
+                        fsyncs: 0,
+                        error: None,
+                        shutdown: false,
+                    }),
+                    work: Condvar::new(),
+                    done: Condvar::new(),
+                });
+                let thread_group = Arc::clone(&group);
+                let thread_observer = Arc::clone(&observer);
+                let handle = std::thread::Builder::new()
+                    .name("privcluster-group-commit".to_string())
+                    .spawn(move || {
+                        group_commit_writer(thread_group, file, gc_config, thread_observer)
+                    })
+                    .map_err(|e| {
+                        StoreError::Io(format!("cannot spawn group-commit writer: {e}"))
+                    })?;
+                (Some(group), Some(handle))
+            }
+            _ => (None, None),
+        };
         Ok((
             Store {
                 inner: Mutex::new(Inner {
@@ -119,15 +262,19 @@ impl Store {
                     appends_since_snapshot: 0,
                 }),
                 config,
-                observer: OnceLock::new(),
+                observer,
+                group,
+                writer,
             },
             report,
         ))
     }
 
-    /// Appends one record (the store assigns its sequence number),
-    /// fsyncing when the config demands commit durability. Returns the
-    /// assigned sequence number. Automatic snapshots fire from here.
+    /// Appends one record and blocks until it is commit-durable (the
+    /// config's fsync policy permitting). Returns the assigned sequence
+    /// number. Equivalent to `append_deferred(record)?.wait()` — the
+    /// group-commit batching still applies, this caller simply has nothing
+    /// useful to do between the append and its fsync.
     ///
     /// Release records never pay their own fsync: their loss is benign (a
     /// free replay, never budget), the unbuffered write already survives
@@ -135,25 +282,62 @@ impl Store {
     /// fsync — so the hot path stays at one fsync per admitted query, not
     /// two.
     pub fn append(&self, record: StoreRecord) -> Result<u64, StoreError> {
+        self.append_deferred(record)?.wait()
+    }
+
+    /// Appends one record (the store assigns its sequence number) and
+    /// returns a [`PendingCommit`] instead of blocking on the fsync.
+    ///
+    /// The frame is written to the descriptor under the store lock —
+    /// journal order always matches the order in which concurrent callers
+    /// got here (for charges: admission order under the accountant lock) —
+    /// but with group commit enabled the fsync happens on the writer
+    /// thread, shared by every record in the batch. The caller **must**
+    /// call [`PendingCommit::wait`] before releasing any result that
+    /// depends on this record being durable; that is the whole write-ahead
+    /// invariant. Automatic snapshots fire from here and, being durable,
+    /// release waiters of every record they cover.
+    pub fn append_deferred(&self, record: StoreRecord) -> Result<PendingCommit, StoreError> {
         let mut inner = self.inner.lock().expect("store lock poisoned");
         let seq = inner.state.seq() + 1;
         let record = record.with_seq(seq);
-        let sync_on_commit =
-            self.config.sync_on_commit && !matches!(record, StoreRecord::Release(_));
-        match (sync_on_commit, self.observer.get()) {
-            (true, Some(observer)) => {
-                let clock = Stopwatch::start();
-                inner.journal.append(&record, sync_on_commit)?;
-                observer.fsync_seconds.observe(clock.elapsed_seconds());
+        // Without group commit, every record syncs inline — the original
+        // fsync-per-record write-ahead mode. With group commit, release
+        // records skip the commit queue entirely: nothing waits on them
+        // (replaying a lost release just charges afresh, which is safe in
+        // the never-refund direction), and their bytes reach the file
+        // under the store lock, so the next covering batch fsync or
+        // snapshot makes them durable for free.
+        let needs_fsync = self.config.sync_on_commit
+            && (self.group.is_none() || !matches!(record, StoreRecord::Release(_)));
+        let group = match (&self.group, needs_fsync) {
+            (Some(group), true) => {
+                Self::append_locked(&mut inner, &record, false)?;
+                Some(Arc::clone(group))
             }
-            _ => inner.journal.append(&record, sync_on_commit)?,
-        }
+            _ => {
+                match (needs_fsync, self.observer.get()) {
+                    (true, Some(observer)) => {
+                        let clock = Stopwatch::start();
+                        Self::append_locked(&mut inner, &record, true)?;
+                        observer.fsync_seconds.observe(clock.elapsed_seconds());
+                    }
+                    _ => Self::append_locked(&mut inner, &record, needs_fsync)?,
+                }
+                None
+            }
+        };
         inner.state.apply(&record);
         inner.appends_since_snapshot += 1;
         if self.config.snapshot_every > 0
             && inner.appends_since_snapshot >= self.config.snapshot_every
         {
-            if let Err(e) = Self::snapshot_locked(&mut inner, &self.config, self.observer.get()) {
+            if let Err(e) = Self::snapshot_locked(
+                &mut inner,
+                &self.config,
+                self.observer.get(),
+                self.group.as_deref(),
+            ) {
                 // A failed snapshot does not lose state — the journal has
                 // everything — so it degrades to a visible warning rather
                 // than failing the append that triggered it.
@@ -169,7 +353,31 @@ impl Store {
                 }
             }
         }
-        Ok(seq)
+        drop(inner);
+        if let Some(g) = &group {
+            // Publish the new high-water mark *after* releasing the store
+            // lock, so the writer's fsync never contends with appenders.
+            // Sound despite the out-of-order updates this allows: every
+            // frame with a smaller sequence number was written under the
+            // store lock before this one, so any fsync that covers `seq`
+            // covers them too.
+            let mut state = g.commit.lock().expect("group-commit lock poisoned");
+            if seq > state.appended {
+                state.appended = seq;
+            }
+            g.work.notify_one();
+        }
+        Ok(PendingCommit { group, seq })
+    }
+
+    /// The journal write itself, factored out so it never appears as a
+    /// lock-acquiring call in the dataflow of `append`-named functions.
+    fn append_locked(
+        inner: &mut Inner,
+        record: &StoreRecord,
+        sync_on_commit: bool,
+    ) -> Result<(), StoreError> {
+        inner.journal.append(record, sync_on_commit)
     }
 
     /// Attaches telemetry hooks. The first observer wins; later calls are
@@ -182,13 +390,19 @@ impl Store {
     /// snapshot path, or `None` when no snapshot directory is configured.
     pub fn snapshot_now(&self) -> Result<Option<PathBuf>, StoreError> {
         let mut inner = self.inner.lock().expect("store lock poisoned");
-        Self::snapshot_locked(&mut inner, &self.config, self.observer.get())
+        Self::snapshot_locked(
+            &mut inner,
+            &self.config,
+            self.observer.get(),
+            self.group.as_deref(),
+        )
     }
 
     fn snapshot_locked(
         inner: &mut Inner,
         config: &StoreConfig,
         observer: Option<&StoreObserver>,
+        group: Option<&GroupCommit>,
     ) -> Result<Option<PathBuf>, StoreError> {
         let Some(dir) = &config.snapshot_dir else {
             return Ok(None);
@@ -200,6 +414,18 @@ impl Store {
         // history. A crash in between is safe — replay is sequence-gated.
         inner.journal.reset()?;
         inner.appends_since_snapshot = 0;
+        if let Some(group) = group {
+            // The durable snapshot covers every record up to the current
+            // sequence number — including any still queued for a group
+            // fsync, whose journal bytes the reset just truncated. The
+            // snapshot owns them now; release their waiters.
+            let mut state = group.commit.lock().expect("group-commit lock poisoned");
+            let seq = inner.state.seq();
+            if seq > state.synced {
+                state.synced = seq;
+            }
+            group.done.notify_all();
+        }
         if let (Some(observer), Some(clock)) = (observer, clock) {
             event!(
                 observer.events,
@@ -217,9 +443,155 @@ impl Store {
         self.inner.lock().expect("store lock poisoned").state.seq()
     }
 
+    /// Records appended but not yet covered by a batch fsync (always 0
+    /// without group commit, where appends sync inline).
+    pub fn commit_queue_depth(&self) -> u64 {
+        match &self.group {
+            Some(group) => {
+                let state = group.commit.lock().expect("group-commit lock poisoned");
+                state.appended.saturating_sub(state.synced)
+            }
+            None => 0,
+        }
+    }
+
+    /// Completed group-commit batch fsyncs (0 without group commit).
+    pub fn group_commit_fsyncs(&self) -> u64 {
+        match &self.group {
+            Some(group) => {
+                group
+                    .commit
+                    .lock()
+                    .expect("group-commit lock poisoned")
+                    .fsyncs
+            }
+            None => 0,
+        }
+    }
+
     /// The store's configuration.
     pub fn config(&self) -> &StoreConfig {
         &self.config
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if let Some(group) = &self.group {
+            let mut state = group.commit.lock().expect("group-commit lock poisoned");
+            state.shutdown = true;
+            group.work.notify_one();
+        }
+        if let Some(writer) = self.writer.take() {
+            // The writer drains (one final fsync over anything still
+            // queued) before exiting, so a clean drop loses nothing.
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The group-commit writer loop: wait for work, optionally dwell for a
+/// fuller batch, issue **one** `sync_data` covering everything appended so
+/// far, release the covered waiters, repeat. Runs on its own thread with a
+/// duplicated file handle, so the sync never holds the store lock and
+/// appends proceed while a batch is flushing.
+fn group_commit_writer(
+    group: Arc<GroupCommit>,
+    file: File,
+    config: GroupCommitConfig,
+    observer: Arc<OnceLock<StoreObserver>>,
+) {
+    loop {
+        let (from, target) = {
+            let mut state = group.commit.lock().expect("group-commit lock poisoned");
+            while !state.shutdown && state.error.is_none() && state.appended <= state.synced {
+                state = group.work.wait(state).unwrap_or_else(|p| p.into_inner());
+            }
+            if state.error.is_some() || (state.shutdown && state.appended <= state.synced) {
+                group.done.notify_all();
+                return;
+            }
+            if config.max_wait_us > 0 {
+                // Dwell for a fuller batch: later enqueuers cut the dwell
+                // short once `max_batch` records are waiting, and shutdown
+                // or a snapshot-driven `synced` advance ends it early.
+                let max_wait = config.max_wait_us as f64 / 1e6;
+                let clock = Stopwatch::start();
+                let full = config.max_batch.max(1) as u64;
+                while !state.shutdown
+                    && state.error.is_none()
+                    && state.appended.saturating_sub(state.synced) < full
+                {
+                    let remaining = max_wait - clock.elapsed_seconds();
+                    if remaining <= 0.0 {
+                        break;
+                    }
+                    let (next, _) = group
+                        .work
+                        .wait_timeout(state, Duration::from_secs_f64(remaining))
+                        .unwrap_or_else(|p| p.into_inner());
+                    state = next;
+                }
+            }
+            (state.synced, state.appended)
+        };
+        if target <= from {
+            continue;
+        }
+        // Opportunistic coalescing: appenders that lost the CPU between
+        // writing their frame and this snapshot get a scheduling slot to
+        // join the batch. Unlike the dwell above this never waits on a
+        // timer — it re-reads the queue after a bare yield (microseconds
+        // against a ~100µs+ sync) and stops the moment the queue stops
+        // growing or the batch is full, so an idle queue pays nothing.
+        let mut target = target;
+        let full = from + config.max_batch.max(1) as u64;
+        let mut idle_yields = 0;
+        while target < full && idle_yields < 2 {
+            std::thread::yield_now();
+            let state = group.commit.lock().expect("group-commit lock poisoned");
+            if state.shutdown || state.error.is_some() {
+                break;
+            }
+            if state.appended <= target {
+                idle_yields += 1;
+            } else {
+                idle_yields = 0;
+                target = state.appended.min(full);
+            }
+        }
+        // One sync covers every record up to `target`: each frame reached
+        // the shared file description (under the store lock) before its
+        // sequence number was published to `appended`, so by the time
+        // `target` was read above, all of its bytes had been written.
+        let clock = Stopwatch::start();
+        let result = file.sync_data();
+        let elapsed = clock.elapsed_seconds();
+        let drained = {
+            let mut state = group.commit.lock().expect("group-commit lock poisoned");
+            match result {
+                Ok(()) => {
+                    if target > state.synced {
+                        if let Some(observer) = observer.get() {
+                            observer.fsync_seconds.observe(elapsed);
+                            observer
+                                .group_commit_batch
+                                .observe((target - state.synced) as f64);
+                        }
+                        state.synced = target;
+                        state.fsyncs += 1;
+                    }
+                }
+                Err(e) => {
+                    state.error = Some(format!("group-commit fsync failed: {e}"));
+                }
+            }
+            group.done.notify_all();
+            state.error.is_some() || (state.shutdown && state.appended <= state.synced)
+        };
+        if drained {
+            return;
+        }
     }
 }
 
@@ -238,6 +610,7 @@ mod tests {
             snapshot_every,
             max_retained_releases: 16,
             sync_on_commit: true,
+            group_commit: None,
         }
     }
 
@@ -293,6 +666,106 @@ mod tests {
         assert!(report.recovered);
         assert!(report.state.same_state(&reference));
         assert_eq!(store.append(charge(0, "a", "q3", 0.25)).unwrap(), 5);
+        std::fs::remove_dir_all(config.journal_path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn group_commit_shares_one_fsync_across_concurrent_appends() {
+        let mut config = config("group", 0);
+        config.snapshot_dir = None;
+        config.group_commit = Some(GroupCommitConfig {
+            max_batch: 4,
+            max_wait_us: 1_000_000,
+        });
+        {
+            let store = Arc::new(Store::open(config.clone()).unwrap().0);
+            // The register rides its own batch (nothing else is queued).
+            assert_eq!(store.append(register(0, "a")).unwrap(), 1);
+            assert_eq!(store.group_commit_fsyncs(), 1);
+            // Four concurrent charges: all enqueue within the writer's
+            // dwell, `max_batch` cuts it short, one fsync covers them all.
+            let workers: Vec<_> = (0..4)
+                .map(|i| {
+                    let store = Arc::clone(&store);
+                    std::thread::spawn(move || {
+                        store
+                            .append_deferred(charge(0, "a", &format!("q{i}"), 0.1))
+                            .unwrap()
+                            .wait()
+                            .unwrap()
+                    })
+                })
+                .collect();
+            let mut seqs: Vec<u64> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+            seqs.sort_unstable();
+            assert_eq!(seqs, vec![2, 3, 4, 5]);
+            assert_eq!(
+                store.group_commit_fsyncs(),
+                2,
+                "four concurrent charges must share one batch fsync"
+            );
+            assert_eq!(store.commit_queue_depth(), 0);
+        }
+        // Everything the waiters saw acknowledged is recovered.
+        let (_, report) = Store::open(config.clone()).unwrap();
+        assert_eq!(report.state.seq(), 5);
+        assert_eq!(report.state.charges().len(), 4);
+        std::fs::remove_dir_all(config.journal_path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn snapshot_releases_group_commit_waiters_without_an_fsync() {
+        // Snapshot after every append, and a dwell long enough that a
+        // waiter released by an fsync (rather than the snapshot) would
+        // hang the test: the durable snapshot must stand in for the batch
+        // fsync it made redundant.
+        let mut config = config("group-snap", 1);
+        config.group_commit = Some(GroupCommitConfig {
+            max_batch: 1024,
+            max_wait_us: 30_000_000,
+        });
+        {
+            let (store, _) = Store::open(config.clone()).unwrap();
+            assert_eq!(store.append(register(0, "a")).unwrap(), 1);
+            assert_eq!(store.append(charge(0, "a", "q1", 0.5)).unwrap(), 2);
+            assert_eq!(
+                store.group_commit_fsyncs(),
+                0,
+                "snapshots covered every append"
+            );
+            assert_eq!(store.commit_queue_depth(), 0);
+        }
+        let (_, report) = Store::open(config.clone()).unwrap();
+        assert_eq!(report.state.seq(), 2);
+        assert_eq!(report.state.charges().len(), 1);
+        std::fs::remove_dir_all(config.journal_path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn release_records_skip_the_commit_queue() {
+        // max_batch 1 makes every *queued* record cost one visible fsync,
+        // so the fsync counter detects a release sneaking into the queue.
+        let mut config = config("group-release", 0);
+        config.snapshot_dir = None;
+        config.group_commit = Some(GroupCommitConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+        });
+        let (store, _) = Store::open(config.clone()).unwrap();
+        store.append(register(0, "a")).unwrap();
+        store.append(charge(0, "a", "q1", 0.5)).unwrap();
+        assert_eq!(store.group_commit_fsyncs(), 2);
+        // A release never pays (or waits for) an fsync: it bypasses the
+        // queue entirely and its wait resolves immediately.
+        let pending = store.append_deferred(release(0, "a", "q1")).unwrap();
+        assert_eq!(pending.wait().unwrap(), 3);
+        assert_eq!(store.commit_queue_depth(), 0);
+        assert_eq!(
+            store.group_commit_fsyncs(),
+            2,
+            "a release must not buy an fsync"
+        );
+        drop(store);
         std::fs::remove_dir_all(config.journal_path.parent().unwrap()).ok();
     }
 }

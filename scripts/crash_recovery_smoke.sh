@@ -35,6 +35,26 @@
 #   * the same query unpinned (targeting v2) refused with
 #     budget_exhausted — exhausted on v1 stays exhausted on v2;
 #   * a version-pinned status for the superseded v1.
+#
+# Phase 5 (group commit, 2 shards): serve with `--shards 2
+# --group-commit-max-batch 64 --group-commit-max-wait-us 2000000`, so
+# commit fsyncs are batched with a 2 s dwell. Two datasets land on
+# different shards ("alpha" → shard 1, "echo" → shard 0). Three awaited
+# requests (two registrations, one query) prove a waiter is only released
+# by its covering group fsync. A second query is then sent and the
+# process is SIGKILLed *inside the dwell window* — after its charge is
+# appended to the shard journal (the script polls the journal bytes for
+# the second charge record) but before the batch fsync. Pins:
+#   * the pre-kill transcript is exactly the three awaited responses —
+#     an un-fsynced charge is never acknowledged (golden 5a);
+#   * restarting on the same journals (per-charge fsync mode, proving the
+#     journal format is mode-independent) recovers BOTH shards
+#     independently and keeps the un-acknowledged charge spent
+#     (granted=2, ε=1 spent) — a journaled charge is never refunded,
+#     fsynced or not;
+#   * re-sending the killed query charges fresh (its result was never
+#     released, so there is nothing to replay), then replays cached;
+#   * the sibling shard's dataset is untouched (golden 5b).
 set -euo pipefail
 
 BIN=${1:-./target/release/serve}
@@ -118,6 +138,71 @@ if ! diff "$DATA/recovery_golden_phase4.jsonl" "$WORK/phase4.jsonl"; then
 fi
 grep -q "recovered: true" "$WORK/phase4.err" || {
     echo "crash-recovery smoke: serve did not report recovery after reregister" >&2
+    exit 1
+}
+
+# --- Phase 5: group commit — kill -9 between charge append and batch fsync
+mkfifo "$WORK/requests5"
+"$BIN" --shards 2 --journal "$WORK/journal5.pcsj" \
+    --group-commit-max-batch 64 --group-commit-max-wait-us 2000000 \
+    < "$WORK/requests5" > "$WORK/phase5a.jsonl" 2>"$WORK/phase5a.err" &
+SERVE_PID=$!
+exec 3>"$WORK/requests5"
+
+# Two registrations and one query, each awaited: their responses are only
+# released once the covering batch fsync lands (each costs one dwell).
+head -3 "$DATA/recovery_phase5.jsonl" >&3
+for _ in $(seq 1 600); do
+    [ "$(wc -l < "$WORK/phase5a.jsonl")" -ge 3 ] && break
+    sleep 0.1
+done
+if [ "$(wc -l < "$WORK/phase5a.jsonl")" -lt 3 ]; then
+    echo "crash-recovery smoke: phase 5 stalled before the kill" >&2
+    cat "$WORK/phase5a.err" >&2
+    exit 1
+fi
+
+# The in-flight query: poll the shard journals for its charge record (the
+# append happens under the store lock, well before the batch fsync), then
+# SIGKILL inside the 2 s dwell — charge journaled, fsync pending, response
+# unreleased.
+tail -1 "$DATA/recovery_phase5.jsonl" >&3
+for _ in $(seq 1 200); do
+    CHARGES=$(cat "$WORK"/journal5-shard*.pcsj 2>/dev/null \
+        | grep -ao '"type":"charge"' | wc -l)
+    [ "$CHARGES" -ge 2 ] && break
+    sleep 0.02
+done
+if [ "$CHARGES" -lt 2 ]; then
+    echo "crash-recovery smoke: phase 5 never journaled the in-flight charge" >&2
+    cat "$WORK/phase5a.err" >&2
+    exit 1
+fi
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+exec 3>&-
+
+# No un-fsynced charge was acknowledged: the pre-kill transcript is
+# exactly the three awaited responses.
+if ! diff "$DATA/recovery_golden_phase5a.jsonl" "$WORK/phase5a.jsonl"; then
+    echo "crash-recovery smoke: pre-kill group-commit transcript diverged" >&2
+    cat "$WORK/phase5a.err" >&2
+    exit 1
+fi
+
+# Restart on the same shard journals (plain per-charge fsync mode) and pin
+# the recovered ledgers: the journaled-but-unacknowledged charge stays
+# spent, both shards recover independently.
+"$BIN" --shards 2 --journal "$WORK/journal5.pcsj" \
+    < "$DATA/recovery_phase5b.jsonl" > "$WORK/phase5b.jsonl" 2>"$WORK/phase5b.err"
+if ! diff "$DATA/recovery_golden_phase5b.jsonl" "$WORK/phase5b.jsonl"; then
+    echo "crash-recovery smoke: post-recovery group-commit transcript diverged" >&2
+    cat "$WORK/phase5b.err" >&2
+    exit 1
+fi
+[ "$(grep -c "recovered: true" "$WORK/phase5b.err")" -eq 2 ] || {
+    echo "crash-recovery smoke: expected both shards to report recovery" >&2
     exit 1
 }
 echo "crash-recovery smoke: OK"

@@ -7,7 +7,11 @@
 # bound on an ephemeral port. Asserts:
 #   * the Prometheus scrape (bash /dev/tcp, no curl needed) exposes the
 #     required series — admission_seconds, fsync_seconds, cache_hits_total,
-#     budget_epsilon_remaining — the per-dataset budget gauge carries the
+#     budget_epsilon_remaining, plus the serving-layer series:
+#     backpressure_rejections_total (0: nothing was rejected), the
+#     per-shard shard_inflight and commit_queue_depth gauges, and the
+#     group_commit_batch_size histogram — the per-dataset budget gauge
+#     carries the
 #     post-workload headroom (8 - 1 - 4 - 1 = 2 ε remaining: the inherited
 #     ledger keeps composing across the mid-workload re-registration), the
 #     dataset_version gauge reflects the new version, and the
@@ -17,9 +21,12 @@
 #     nothing.
 #
 # Phase 2 (journaled): replay the same workload in write-ahead mode with
-# `--events`. Asserts the `{"cmd":"metrics"}` wire op (the `cmd` alias, so
-# both spellings stay live) reports a non-empty fsync histogram, and the
-# events file carries the structured `serve.banner` recovery event.
+# `--events` and group commit enabled (batch 8, 1 ms dwell). Asserts the
+# `{"cmd":"metrics"}` wire op (the `cmd` alias, so both spellings stay
+# live) reports a non-empty fsync histogram AND a non-empty
+# group_commit_batch_size histogram (every batched fsync records its batch
+# size), and the events file carries the structured `serve.banner`
+# recovery event.
 set -euo pipefail
 
 BIN=${1:-./target/release/serve}
@@ -80,6 +87,16 @@ grep -q 'reregistrations_total 1' "$WORK/scrape.txt" \
     || fail "reregistrations_total did not count the re-registration"
 grep -q 'admission_seconds_count 5' "$WORK/scrape.txt" \
     || fail "admission histogram did not record the five smoke queries"
+grep -q '^# TYPE backpressure_rejections_total counter' "$WORK/scrape.txt" \
+    || fail "backpressure_rejections_total missing from the scrape"
+grep -q '^backpressure_rejections_total 0$' "$WORK/scrape.txt" \
+    || fail "backpressure counter nonzero on an unloaded run"
+grep -q 'shard_inflight{shard="0"} 0' "$WORK/scrape.txt" \
+    || fail "per-shard in-flight gauge missing from the scrape"
+grep -q 'commit_queue_depth{shard="0"} 0' "$WORK/scrape.txt" \
+    || fail "per-shard commit-queue gauge missing from the scrape"
+grep -q '^# TYPE group_commit_batch_size histogram' "$WORK/scrape.txt" \
+    || fail "group_commit_batch_size histogram missing from the scrape"
 
 # Shut down cleanly, then prove passivity against the golden transcript.
 printf '%s\n' '{"op":"metrics"}' '{"op":"shutdown"}' >&3
@@ -94,6 +111,7 @@ diff "$DATA/smoke_golden.jsonl" "$WORK/phase1_filtered.jsonl" \
 head -n -1 "$DATA/smoke_requests.jsonl" > "$WORK/phase2_requests.jsonl"
 printf '%s\n' '{"cmd":"metrics"}' '{"op":"shutdown"}' >> "$WORK/phase2_requests.jsonl"
 "$BIN" --journal "$WORK/journal.pcsj" --events "$WORK/events.jsonl" \
+    --group-commit-max-batch 8 --group-commit-max-wait-us 1000 \
     < "$WORK/phase2_requests.jsonl" > "$WORK/phase2.jsonl" 2>"$WORK/phase2.err"
 
 grep '"op":"metrics"' "$WORK/phase2.jsonl" > "$WORK/phase2_metrics.json" \
@@ -103,6 +121,11 @@ FSYNC=$(grep -o '"fsync_seconds":{[^}]*}' "$WORK/phase2_metrics.json") \
     || fail "fsync_seconds histogram missing from the snapshot"
 case "$FSYNC" in
     *'"count":0'*) fail "fsync histogram empty in journaled mode" ;;
+esac
+BATCH=$(grep -o '"group_commit_batch_size":{[^}]*}' "$WORK/phase2_metrics.json") \
+    || fail "group_commit_batch_size histogram missing from the snapshot"
+case "$BATCH" in
+    *'"count":0'*) fail "group-commit batch histogram empty with group commit on" ;;
 esac
 grep -q '"event":"serve.banner"' "$WORK/events.jsonl" \
     || fail "structured serve.banner event missing from the events file"

@@ -18,8 +18,10 @@
 //! * [`report`] — experiment-output helpers;
 //! * [`engine`] — the long-lived query engine: registered datasets, a
 //!   budget accountant enforcing composition across adaptive queries, a
-//!   result cache, a worker pool, and a JSON-lines service front-end (the
-//!   `serve` binary);
+//!   result cache, a worker pool, and the JSON-lines wire protocol;
+//! * [`server`] — the serving layer: per-dataset engine shards behind one
+//!   protocol, admission backpressure, concurrent TCP serving, and the
+//!   `serve` / `loadgen` binaries;
 //! * [`store`] — the engine's durability layer: an append-only checksummed
 //!   journal of registrations, budget charges, and released results,
 //!   periodic snapshots, and deterministic crash recovery (spent budget
@@ -62,6 +64,7 @@ pub use privcluster_geometry as geometry;
 pub use privcluster_lowerbound as lowerbound;
 pub use privcluster_obs as obs;
 pub use privcluster_report as report;
+pub use privcluster_server as server;
 pub use privcluster_store as store;
 
 /// The most commonly used items, for glob import.
@@ -86,5 +89,6 @@ pub mod prelude {
         ProjectedBackend, ProjectedConfig,
     };
     pub use privcluster_obs::{EventStream, MetricsRegistry, MetricsSnapshot, Severity, Span};
-    pub use privcluster_store::{Store, StoreConfig};
+    pub use privcluster_server::{shard_of, ShardedServer};
+    pub use privcluster_store::{GroupCommitConfig, Store, StoreConfig};
 }
